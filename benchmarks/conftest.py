@@ -1,0 +1,22 @@
+"""Benchmark configuration: full simulations run once per measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavyweight experiment exactly once under the benchmark timer.
+
+    Full-figure reproductions take seconds; repeating them for
+    statistical timing wastes minutes without adding information.  The
+    returned callable benchmarks ``fn`` with a single round and passes
+    the function result through.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

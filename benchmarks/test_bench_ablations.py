@@ -1,0 +1,71 @@
+"""Bench A1-A5 — ablation studies over the PELS design space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_bench_sigma_sweep(once):
+    result = once(ablations.run_sigma_sweep, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["settle_sigma_0.5"] < \
+        result.metrics["settle_sigma_0.1"]
+
+
+def test_bench_pthr_sweep(once):
+    result = once(ablations.run_pthr_sweep, fast=True)
+    print()
+    print(result.render())
+    for p_thr in (0.6, 0.75, 0.9):
+        assert result.metrics[f"red_loss_pthr_{p_thr}"] == pytest.approx(
+            p_thr, abs=0.13)
+
+
+def test_bench_wrr_sweep(once):
+    result = once(ablations.run_wrr_sweep, fast=True)
+    print()
+    print(result.render())
+    for w in (0.25, 0.5, 0.75):
+        assert result.metrics[f"share_w{w}"] == pytest.approx(w, abs=0.08)
+
+
+def test_bench_red_buffer_sweep(once):
+    result = once(ablations.run_red_buffer_sweep, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["red_delay_b48"] > 3 * result.metrics["red_delay_b3"]
+
+
+def test_bench_controller_comparison(once):
+    result = once(ablations.run_controller_comparison, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["rate_cov_mkc"] < 0.1
+    assert result.metrics["rate_cov_aimd"] > 0.2
+    assert result.metrics["utilization_mkc"] > \
+        result.metrics["utilization_aimd"]
+
+
+def test_bench_two_priority(once):
+    result = once(ablations.run_two_priority, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["utility_tri"] > 0.85
+    assert result.metrics["utility_two"] < 0.5
+    assert result.metrics["yellow_drops_tri"] == 0
+    assert result.metrics["yellow_drops_two"] > 0
+
+
+def test_bench_robustness(once):
+    result = once(ablations.run_robustness, fast=True)
+    print()
+    print(result.render())
+    # Lemma 6 rate survives 60% ACK loss...
+    assert result.metrics["rate_ackloss_0.6"] == pytest.approx(
+        result.metrics["rate_ackloss_0.0"], rel=0.05)
+    # ...and the flows re-converge after the share drops to 25%.
+    assert result.metrics["rate_after_renegotiation"] == pytest.approx(
+        540e3, rel=0.10)

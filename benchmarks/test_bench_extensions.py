@@ -1,0 +1,80 @@
+"""Bench X1-X7 — the extension experiments (beyond the paper's eval)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (bursts_exp, closed_loop_be, deadlines,
+                               fec_comparison, heterogeneous, multihop,
+                               rd_smoothing)
+
+
+def test_bench_x1_multibottleneck(once):
+    result = once(multihop.run, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["phase1_router_is_hop0"] == 1.0
+    assert result.metrics["phase2_router_is_hop1"] == 1.0
+    assert result.metrics["phase1_rate"] == pytest.approx(1.04e6, rel=0.10)
+    assert result.metrics["phase2_rate"] == pytest.approx(2.66e5, rel=0.20)
+    assert result.metrics["hop1_final_loss"] > \
+        result.metrics["hop0_final_loss"]
+
+
+def test_bench_x2_heterogeneous_delays(once):
+    result = once(heterogeneous.run, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["rtt_fairness"] > 0.9
+    for flow in range(3):
+        assert result.metrics[f"rate_flow{flow}"] == pytest.approx(
+            7.067e5, rel=0.10)
+        assert result.metrics[f"rate_cov_flow{flow}"] < 0.1
+
+
+def test_bench_x3_rd_smoothing(once):
+    result = once(rd_smoothing.run, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["smoothed_std"] < 0.3 * result.metrics["pels_std"]
+    # Smoothing trades <= ~1.5 dB of mean PSNR for the flat curve.
+    assert result.metrics["smoothed_mean"] > \
+        result.metrics["pels_mean"] - 1.5
+
+
+def test_bench_x4_closed_loop_best_effort(once):
+    result = once(closed_loop_be.run, fast=True)
+    print()
+    print(result.render())
+    # Lemma 1 predicts the simulated RED network's decodable prefix.
+    assert result.metrics["useful_packets"] > 0
+    assert result.metrics["base_intact_ratio"] == 1.0
+    assert not any("DIVERGES" in n for n in result.notes)
+
+
+def test_bench_x5_burst_structure(once):
+    result = once(bursts_exp.run, fast=True)
+    print()
+    print(result.render())
+    # RED realizes the Bernoulli (geometric) burst model; drop-tail
+    # produces the heavy correlated bursts the paper's analysis excludes.
+    assert result.metrics["burst_ratio"] > 2.5
+    assert not any("DIVERGES" in n for n in result.notes)
+
+
+def test_bench_x6_deadlines(once):
+    result = once(deadlines.run, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["yellow_ontime_100ms"] == 1.0
+    assert result.metrics["retx_rtt400_budget300"] == 0.0
+
+
+def test_bench_x7_fec_comparison(once):
+    result = once(fec_comparison.run, fast=False)
+    print()
+    print(result.render())
+    for key in ("p2", "p5", "p10", "p19"):
+        assert result.metrics[f"pels_useful_{key}"] > \
+            result.metrics[f"fec_useful_{key}"]
+    assert not any("DIVERGES" in n for n in result.notes)

@@ -1,0 +1,31 @@
+"""Bench F10 — regenerate Fig. 10 (PSNR: PELS vs best-effort).
+
+The headline quality result.  Shape checks (paper values at 10% / 19%
+loss: PELS improves base PSNR by ~60% / ~55%, best-effort by ~24% /
+~16%, best-effort fluctuates by up to 15 dB):
+
+* PELS improvement is several times best-effort's at both loss levels;
+* best-effort's network-induced PSNR variation is large, PELS' small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(once):
+    result = once(fig10.run, fast=True)
+    print()
+    print(result.render())
+    for key, paper_be, paper_pels in (("p10", 24.0, 60.0),
+                                      ("p19", 16.0, 55.0)):
+        pels = result.metrics[f"pels_improvement_{key}"]
+        be = result.metrics[f"be_improvement_{key}"]
+        assert pels == pytest.approx(paper_pels, rel=0.35)
+        assert be == pytest.approx(paper_be, rel=0.45)
+        assert pels > 2 * be
+        assert result.metrics[f"be_gain_fluctuation_{key}"] > 8
+        assert result.metrics[f"be_gain_fluctuation_{key}"] > \
+            2 * result.metrics[f"pels_gain_fluctuation_{key}"]

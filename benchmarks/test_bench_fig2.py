@@ -1,0 +1,20 @@
+"""Bench F2 — regenerate Fig. 2 (useful packets & utility vs H)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(once):
+    result = once(fig2.run, fast=False)
+    print()
+    print(result.render())
+    # Shape: best-effort saturates at (1-p)/p = 9 while optimal grows
+    # linearly; utility at H=100 is exactly the paper's 0.1.
+    assert result.metrics["saturation_level"] == pytest.approx(9.0, rel=0.01)
+    assert result.metrics["utility_at_100"] == pytest.approx(0.1, abs=0.002)
+    be = result.series["best_effort_useful"]
+    opt = result.series["optimal_useful"]
+    assert opt[-1] / be[-1] == pytest.approx(100.0, rel=0.05)  # 900 vs 9

@@ -1,0 +1,21 @@
+"""Bench F5 — regenerate Fig. 5 (gamma stability vs sigma)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(once):
+    result = once(fig5.run, fast=False)
+    print()
+    print(result.render())
+    assert result.metrics["fixed_point_sigma_0.5"] == pytest.approx(
+        2 / 3, rel=0.01)
+    assert result.metrics["fixed_point_sigma_1.5"] == pytest.approx(
+        2 / 3, rel=0.01)
+    assert result.metrics["divergence_sigma_3.0"] > 100
+    # Lemma 3: the delayed controller reaches the same fixed point.
+    assert result.metrics["delayed_sigma_0.5_final"] == pytest.approx(
+        2 / 3, rel=0.05)

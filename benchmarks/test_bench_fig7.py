@@ -1,0 +1,30 @@
+"""Bench F7 — regenerate Fig. 7 (gamma evolution & red loss).
+
+Full packet-level simulations of both operating points (p ~ 7% with 4
+flows, p ~ 14% with 8).  The reproduced shape: gamma tracks p/p_thr and
+the physical red-queue loss pins at p_thr = 75% for both levels while
+yellow/green stay lossless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(once):
+    result = once(fig7.run, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["virtual_loss_n4"] == pytest.approx(0.074,
+                                                              rel=0.12)
+    assert result.metrics["virtual_loss_n8"] == pytest.approx(0.138,
+                                                              rel=0.12)
+    for n in (4, 8):
+        assert result.metrics[f"red_loss_n{n}"] == pytest.approx(0.75,
+                                                                 abs=0.10)
+        assert result.metrics[f"gamma_n{n}"] == pytest.approx(
+            result.metrics[f"virtual_loss_n{n}"] / 0.75, rel=0.15)
+        assert result.metrics[f"yellow_drops_n{n}"] == 0
+        assert result.metrics[f"green_drops_n{n}"] == 0

@@ -1,0 +1,17 @@
+"""Bench F8 — regenerate Fig. 8 (green and yellow packet delays)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(once):
+    result = once(fig8.run, fast=True)
+    print()
+    print(result.render())
+    # Paper shape: green (~16 ms) below yellow (~25 ms), both dominated
+    # by propagation with only milliseconds of queueing, and both flat
+    # as flows join (strict priority insulates them from red backlog).
+    assert result.metrics["green_below_yellow"] == 1.0
+    assert 0 < result.metrics["green_queueing_ms"] < 20
+    assert 0 < result.metrics["yellow_queueing_ms"] < 60

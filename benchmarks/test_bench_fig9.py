@@ -1,0 +1,22 @@
+"""Bench F9 — regenerate Fig. 9 (red delays; MKC convergence/fairness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(once):
+    result = once(fig9.run, fast=True)
+    print()
+    print(result.render())
+    # Left panel: red delays in the hundreds of ms, far above green.
+    assert 50 < result.metrics["red_delay_ms"] < 2000
+    assert result.metrics["red_over_green"] > 5
+    # Right panel: solo flow claims the PELS share, then both flows
+    # converge to C/2 + alpha/beta with no lasting unfairness.
+    assert result.metrics["solo_rate"] == pytest.approx(2.04e6, rel=0.12)
+    assert result.metrics["rate_f1"] == pytest.approx(1.04e6, rel=0.12)
+    assert result.metrics["rate_f2"] == pytest.approx(1.04e6, rel=0.12)
+    assert result.metrics["fairness_ratio"] > 0.85

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the simulator substrate.
+
+These time the hot paths (event dispatch, queue operations, WRR
+scheduling, end-to-end packet forwarding) so performance regressions in
+the substrate are visible independently of the figure reproductions.
+"""
+
+from __future__ import annotations
+
+from repro.core.pels_queue import PelsBottleneckQueue, PelsQueueConfig
+from repro.core.session import PelsScenario, PelsSimulation
+from repro.sim.engine import Simulator
+from repro.sim.packet import Color, Packet
+from repro.sim.queues import DropTailQueue
+
+
+def test_bench_event_dispatch(benchmark):
+    """Throughput of the event heap (schedule + dispatch)."""
+
+    def run_events():
+        sim = Simulator(seed=1)
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_bench_droptail_ops(benchmark):
+    """Enqueue/dequeue cycle of the base FIFO."""
+
+    queue = DropTailQueue(capacity_packets=256)
+    packet = Packet(flow_id=1, size=500, color=Color.GREEN)
+
+    def cycle():
+        for _ in range(1000):
+            queue.enqueue(packet)
+            queue.dequeue()
+
+    benchmark(cycle)
+
+
+def test_bench_pels_queue_ops(benchmark):
+    """Full tri-color WRR bottleneck enqueue/dequeue cycle."""
+
+    queue = PelsBottleneckQueue(PelsQueueConfig())
+    packets = [Packet(flow_id=1, size=500, color=c)
+               for c in (Color.GREEN, Color.YELLOW, Color.RED,
+                         Color.BEST_EFFORT)]
+
+    def cycle():
+        for _ in range(250):
+            for packet in packets:
+                queue.enqueue(packet)
+            for _ in packets:
+                queue.dequeue()
+
+    benchmark(cycle)
+
+
+def test_bench_end_to_end_simulation_second(benchmark):
+    """Wall-clock cost of one simulated second of a 4-flow PELS run."""
+
+    def one_second():
+        sim = PelsSimulation(PelsScenario(n_flows=4, duration=1.0, seed=1))
+        sim.run()
+        return sim.sim.events_dispatched
+
+    events = benchmark(one_second)
+    assert events > 100

@@ -1,0 +1,29 @@
+"""Bench T1 — regenerate Table 1 (expected useful packets).
+
+Prints the reproduced rows and asserts the model/simulation agreement
+the paper's Table 1 demonstrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_bench_table1(once):
+    result = once(table1.run, fast=True)
+    print()
+    print(result.render())
+    assert result.metrics["model_H100_p0.01"] == pytest.approx(62.76,
+                                                               abs=0.01)
+    assert result.metrics["sim_H100_p0.1"] == pytest.approx(8.99, rel=0.06)
+    assert not any("DIVERGES" in note for note in result.notes)
+
+
+def test_bench_table1_full_accuracy(once):
+    """The non-fast Monte-Carlo run reaches ~1% agreement on every row."""
+    result = once(table1.run, fast=False)
+    for _, loss, paper_sim, _ in table1.PAPER_ROWS:
+        assert result.metrics[f"sim_H100_p{loss}"] == pytest.approx(
+            paper_sim, rel=0.02)

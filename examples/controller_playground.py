@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Swap the congestion controller under PELS (it is controller-agnostic).
+
+Section 5 stresses that PELS works with *any* congestion control; MKC
+is just the recommended one.  This script drives the same 4-flow PELS
+scenario with MKC, AIMD and the TFRC-style equation controller and
+prints rate traces plus smoothness/utilization numbers, reproducing the
+paper's argument for why AIMD-style sawtooths are "unacceptable" for
+video.
+
+Usage: python examples/controller_playground.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import PelsScenario, PelsSimulation
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, lo=None, hi=None) -> str:
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = max(hi - lo, 1e-9)
+    return "".join(SPARK[min(7, int((v - lo) / span * 8))] for v in values)
+
+
+def main() -> None:
+    results = {}
+    for name in ("mkc", "aimd", "tfrc"):
+        scenario = PelsScenario(n_flows=4, duration=60.0, seed=31,
+                                controller_name=name)
+        sim = PelsSimulation(scenario).run()
+        series = sim.sources[0].rate_series
+        rates = [v for t, v in series if t > 30]
+        results[name] = {
+            "trace": [v for t, v in series][-72:],
+            "mean": statistics.mean(rates),
+            "cov": statistics.pstdev(rates) / statistics.mean(rates),
+            "goodput": sum(s.bytes_received for s in sim.sinks) * 8
+            / scenario.duration / scenario.pels_capacity_bps(),
+        }
+
+    hi = max(max(r["trace"]) for r in results.values())
+    print("flow-0 sending rate, last ~45 s (same scale):\n")
+    for name, r in results.items():
+        print(f"  {name:5s} {sparkline(r['trace'], 0, hi)}")
+    print(f"\n{'controller':>10} | {'mean rate':>10} | "
+          f"{'CoV (smooth)':>12} | {'PELS goodput':>12}")
+    print("-" * 56)
+    for name, r in results.items():
+        print(f"{name:>10} | {r['mean']/1e3:8.1f} k | {r['cov']:12.4f} | "
+              f"{r['goodput']:12.1%}")
+    print("\nMKC sits at its Lemma-6 stationary point (flat line); AIMD "
+          "saws between backoffs; the equation-based controller drifts. "
+          "PELS runs unmodified under all three — the framework is "
+          "congestion-control agnostic.")
+
+
+if __name__ == "__main__":
+    main()

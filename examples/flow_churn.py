@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Flow churn: watch PELS adapt as flows join the bottleneck.
+
+Reproduces the Figs. 7-9 dynamics interactively: two flows start, two
+more join every 50 seconds, and the script prints a per-epoch table of
+how the virtual loss p, the red fraction gamma, the per-color delays
+and the red-queue loss respond.  The punchline is that every new
+arrival raises p and gamma while the yellow queue stays lossless — the
+probing band absorbs all of the congestion.
+
+Usage: python examples/flow_churn.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import Color, PelsScenario, PelsSimulation
+from repro.cc.mkc import mkc_equilibrium_loss
+
+
+def main() -> None:
+    scenario = PelsScenario(n_flows=8, duration=200.0, seed=5) \
+        .with_staggered_starts(batch=2, spacing=50.0)
+    print("8 PELS flows, 2 joining every 50 s, 2 mb/s PELS share.\n")
+    sim = PelsSimulation(scenario)
+
+    print(f"{'window':>10} | {'flows':>5} | {'p':>6} | {'p* theory':>9} | "
+          f"{'gamma':>6} | {'red loss':>8} | {'green ms':>8} | "
+          f"{'yellow ms':>9} | {'red ms':>7}")
+    print("-" * 95)
+    sink = sim.sinks[0]
+    for epoch in range(4):
+        t0, t1 = epoch * 50.0, (epoch + 1) * 50.0
+        sim.run(until=t1)
+        active = sum(1 for f in range(scenario.n_flows)
+                     if scenario.start_time_of(f) < t1)
+        p = sim.feedback.loss_series.mean(t0 + 25, t1)
+        p_star = mkc_equilibrium_loss(scenario.pels_capacity_bps(), active,
+                                      scenario.alpha_bps, scenario.beta)
+        gamma = sim.sources[0].gamma_series.mean(t0 + 25, t1)
+        red_win = [v for t, v in sim.red_loss_series() if t0 + 25 < t <= t1]
+        red_loss = statistics.mean(red_win) if red_win else float("nan")
+        green = sink.delay_probes[Color.GREEN].mean_in(t0, t1) * 1e3
+        yellow = sink.delay_probes[Color.YELLOW].mean_in(t0, t1) * 1e3
+        red = sink.delay_probes[Color.RED].mean_in(t0, t1) * 1e3
+        print(f"{t0:4.0f}-{t1:4.0f} s | {active:5d} | {p:6.3f} | "
+              f"{p_star:9.3f} | {gamma:6.3f} | {red_loss:8.3f} | "
+              f"{green:8.1f} | {yellow:9.1f} | {red:7.1f}")
+
+    q = sim.bottleneck_queue
+    print(f"\ntotal drops: green={q.green_queue.stats.drops} "
+          f"yellow={q.yellow_queue.stats.drops} "
+          f"red={q.red_queue.stats.drops}")
+    print("Each join step raises p and gamma (more probing), red loss "
+          "stays pinned near p_thr, and the protected queues never drop "
+          "a packet.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Multi-bottleneck PELS: watching the bottleneck move (§5.2 live).
+
+Two PELS flows cross two PELS-enabled routers (PELS shares 2 mb/s and
+3 mb/s).  Initially hop 0 binds.  Halfway through, a 3 mb/s interferer
+floods hop 1; every router keeps stamping its own Eq. 11 loss but only
+the larger value survives in the packet header, so the sources' control
+loops seamlessly re-target the new most-congested resource — watch the
+tracked router ID flip and the rates glide to the new equilibrium.
+
+Usage: python examples/multi_bottleneck.py
+"""
+
+from __future__ import annotations
+
+from repro.core.multihop import MultiHopPelsSimulation, MultiHopScenario
+from repro.experiments.multihop import shifted_equilibrium_rate
+
+
+def main() -> None:
+    duration, shift = 120.0, 60.0
+    scenario = MultiHopScenario(
+        n_flows=2, duration=duration, seed=21,
+        hop_bps=(4_000_000.0, 6_000_000.0),
+        pels_interferers=((1, shift, duration, 3_000_000.0),))
+    sim = MultiHopPelsSimulation(scenario)
+    print("2 PELS flows over 2 hops (PELS shares 2 / 3 mb/s); "
+          f"3 mb/s interferer hits hop 1 at t = {shift:.0f}s.\n")
+
+    print(f"{'t (s)':>6} | {'rate F0 (kb/s)':>14} | {'hop0 p':>7} | "
+          f"{'hop1 p':>7} | bottleneck")
+    print("-" * 60)
+    for checkpoint in range(10, int(duration) + 1, 10):
+        sim.run(until=float(checkpoint))
+        rate = sim.sources[0].rate_bps
+        losses = sim.hop_losses()
+        rid = sim.bottleneck_router_id_of(0)
+        which = "hop0" if rid == sim.router_id_of_hop(0) else \
+            "hop1" if rid == sim.router_id_of_hop(1) else "?"
+        marker = "  <- shift" if checkpoint == int(shift) + 10 else ""
+        print(f"{checkpoint:6d} | {rate/1e3:14.1f} | {losses[0]:7.3f} | "
+              f"{losses[1]:7.3f} | {which}{marker}")
+
+    r1 = scenario.pels_capacity_of(0) / 2 + scenario.alpha_bps / scenario.beta
+    r2 = shifted_equilibrium_rate(scenario.pels_capacity_of(1), 3_000_000.0,
+                                  2, scenario.alpha_bps, scenario.beta)
+    print(f"\ntheory: {r1/1e3:.0f} kb/s before the shift, "
+          f"{r2/1e3:.0f} kb/s after (Eq. 8/9 fixed points).")
+    print("The max-loss label override plus the router-ID freshness rule "
+          "is all it takes — no inter-router signalling.")
+
+
+if __name__ == "__main__":
+    main()

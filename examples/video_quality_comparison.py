@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare reconstructed video quality: PELS vs best-effort streaming.
+
+The Fig. 10 workflow on a single operating point: run a PELS simulation
+targeting ~10% network loss, reconstruct the Foreman-like sequence
+offline from the per-frame reception logs, then do the same with the
+paper's best-effort comparison (base layer protected, uniform random
+FGS loss at the measured rate, no retransmission, no FEC) and print a
+frame-by-frame PSNR sparkline plus summary statistics.
+
+Usage: python examples/video_quality_comparison.py [target_loss]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PelsSimulation, generate_foreman_like, reconstruct_psnr
+from repro.experiments.fig10 import (best_effort_receptions,
+                                     loss_targeted_scenario)
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, lo: float, hi: float) -> str:
+    span = max(hi - lo, 1e-9)
+    return "".join(SPARK[min(7, int((v - lo) / span * 8))] for v in values)
+
+
+def main() -> None:
+    target = float(sys.argv[1]) if len(sys.argv) > 1 else 0.10
+    scenario = loss_targeted_scenario(target, duration=80.0)
+    print(f"Target network loss {target:.0%} -> MKC alpha = "
+          f"{scenario.alpha_bps/1e3:.1f} kb/s for {scenario.n_flows} flows")
+    sim = PelsSimulation(scenario).run()
+    measured = sim.mean_virtual_loss(scenario.duration * 0.3)
+    print(f"measured loss: {measured:.1%}")
+
+    receptions = sim.frame_receptions(0)[20:]
+    trace = generate_foreman_like(n_frames=len(receptions), seed=7)
+
+    pels = reconstruct_psnr(trace, receptions)
+    be = reconstruct_psnr(
+        trace, best_effort_receptions(receptions, measured, seed=2))
+
+    lo = min(min(be.psnr_db), min(pels.base_psnr_db))
+    hi = max(pels.psnr_db)
+    step = max(1, len(receptions) // 72)
+    print(f"\nPSNR per frame ({len(receptions)} frames, "
+          f"{lo:.0f}-{hi:.0f} dB):")
+    print("  PELS        ", sparkline(pels.psnr_db[::step], lo, hi))
+    print("  best-effort ", sparkline(be.psnr_db[::step], lo, hi))
+    print("  base only   ", sparkline(pels.base_psnr_db[::step], lo, hi))
+
+    print("\n              mean PSNR   vs base   peak-to-peak")
+    for name, res in (("base only", None), ("best-effort", be),
+                      ("PELS", pels)):
+        if res is None:
+            print(f"  {name:12s} {pels.mean_base_psnr:7.2f} dB   "
+                  f"{0.0:5.1f}%    "
+                  f"{max(pels.base_psnr_db)-min(pels.base_psnr_db):4.1f} dB")
+        else:
+            print(f"  {name:12s} {res.mean_psnr:7.2f} dB   "
+                  f"{100*res.improvement_over_base:5.1f}%    "
+                  f"{res.fluctuation_db:4.1f} dB")
+    ratio = pels.improvement_over_base / max(be.improvement_over_base, 1e-9)
+    print(f"\nPELS delivers {ratio:.1f}x the quality improvement of "
+          "best-effort at the same network loss (paper: 60% vs 24% at "
+          "10% loss).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Multi-layer Active Queue Management and
+Congestion Control for Scalable Video Streaming" (ICDCS 2004).
+
+The package implements PELS (Partitioned Enhancement Layer Streaming)
+end to end on a pure-Python discrete-event network simulator:
+
+* :mod:`repro.sim` — the simulator substrate (ns2 substitute).
+* :mod:`repro.cc` — congestion controllers (MKC, Kelly, AIMD, TFRC, TCP).
+* :mod:`repro.video` — FGS video model, synthetic Foreman trace, R-D/PSNR.
+* :mod:`repro.core` — the PELS contribution: tri-color priority AQM,
+  gamma control, router feedback, sources/sinks, full-session assembly.
+* :mod:`repro.analysis` — the paper's closed-form results (Lemmas 1-6).
+* :mod:`repro.experiments` — regenerates every table and figure.
+
+Quickstart::
+
+    from repro import PelsScenario, PelsSimulation
+
+    sim = PelsSimulation(PelsScenario(n_flows=2, duration=30.0)).run()
+    print(sim.flow_rates_bps())
+"""
+
+from .analysis import (best_effort_utility, expected_useful_packets,
+                       pels_utility_lower_bound)
+from .cc import (AimdController, KellyController, MkcController,
+                 RateController, make_controller, mkc_equilibrium_loss,
+                 mkc_stationary_rate)
+from .core import (GammaController, PelsBottleneckQueue, PelsQueueConfig,
+                   PelsScenario, PelsSimulation, PelsSink, PelsSource,
+                   RouterFeedback)
+from .sim import BarbellConfig, Color, Packet, Simulator, build_barbell
+from .video import (FgsConfig, VideoTrace, generate_foreman_like,
+                    reconstruct_psnr)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AimdController",
+    "BarbellConfig",
+    "Color",
+    "FgsConfig",
+    "GammaController",
+    "KellyController",
+    "MkcController",
+    "Packet",
+    "PelsBottleneckQueue",
+    "PelsQueueConfig",
+    "PelsScenario",
+    "PelsSimulation",
+    "PelsSink",
+    "PelsSource",
+    "RateController",
+    "RouterFeedback",
+    "Simulator",
+    "VideoTrace",
+    "best_effort_utility",
+    "build_barbell",
+    "expected_useful_packets",
+    "generate_foreman_like",
+    "make_controller",
+    "mkc_equilibrium_loss",
+    "mkc_stationary_rate",
+    "pels_utility_lower_bound",
+    "reconstruct_psnr",
+]

@@ -1,0 +1,90 @@
+"""Loss-burst structure analysis (Section 3's modelling assumption).
+
+The paper justifies its independent-Bernoulli loss model by arguing
+that AQM networks (RED/ECN) produce *uniformly random* drops whose
+burst-length distribution has exponential tails — P(burst = k) ~ e^-k —
+unlike the heavy-tailed bursts of FIFO drop-tail queues.  This module
+provides the tools to test that assumption against simulated queues:
+
+* :func:`drop_bursts` — burst lengths from a per-arrival drop indicator;
+* :func:`burst_pmf` — empirical burst-length PMF;
+* :func:`geometric_pmf` — the Bernoulli reference, P(k) = (1-p) p^(k-1)
+  conditioned on a burst having started;
+* :func:`fit_geometric_rate` / :func:`tail_beyond` — summary statistics
+  for comparing the measured tail against the geometric reference.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence
+
+__all__ = ["drop_bursts", "burst_pmf", "geometric_pmf",
+           "fit_geometric_rate", "tail_beyond", "mean_burst_length"]
+
+
+def drop_bursts(indicator: Sequence[bool]) -> List[int]:
+    """Lengths of maximal runs of ``True`` (drops) in arrival order."""
+    bursts: List[int] = []
+    run = 0
+    for dropped in indicator:
+        if dropped:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    if run:
+        bursts.append(run)
+    return bursts
+
+
+def burst_pmf(bursts: Sequence[int]) -> Dict[int, float]:
+    """Empirical PMF of burst lengths."""
+    if not bursts:
+        return {}
+    counts = Counter(bursts)
+    total = len(bursts)
+    return {k: c / total for k, c in sorted(counts.items())}
+
+
+def geometric_pmf(drop_prob: float, max_k: int) -> Dict[int, float]:
+    """Burst-length PMF under i.i.d. Bernoulli drops.
+
+    Given that a burst started, its length is geometric:
+    ``P(L = k) = (1 - p) p^(k-1)``.
+    """
+    if not 0 < drop_prob < 1:
+        raise ValueError("drop probability must be in (0, 1)")
+    if max_k < 1:
+        raise ValueError("max_k must be at least 1")
+    return {k: (1 - drop_prob) * drop_prob ** (k - 1)
+            for k in range(1, max_k + 1)}
+
+
+def mean_burst_length(bursts: Sequence[int]) -> float:
+    """Average burst length (1/(1-p) for the geometric reference)."""
+    if not bursts:
+        return float("nan")
+    return sum(bursts) / len(bursts)
+
+
+def fit_geometric_rate(bursts: Sequence[int]) -> float:
+    """Maximum-likelihood geometric parameter p from burst lengths.
+
+    For the geometric distribution on {1, 2, ...}, the MLE is
+    ``p = 1 - 1/mean``; returns 0 for all-singleton bursts.
+    """
+    mean = mean_burst_length(bursts)
+    if math.isnan(mean) or mean <= 1.0:
+        return 0.0
+    return 1.0 - 1.0 / mean
+
+
+def tail_beyond(bursts: Sequence[int], k: int) -> float:
+    """Empirical P(burst length > k)."""
+    if k < 0:
+        raise ValueError("k cannot be negative")
+    if not bursts:
+        return float("nan")
+    return sum(1 for b in bursts if b > k) / len(bursts)

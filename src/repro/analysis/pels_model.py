@@ -1,0 +1,71 @@
+"""Closed-form PELS performance model (Sections 3.2, 4.3).
+
+Links the gamma controller's fixed point to the utility bound of
+Eq. (6) and provides the red-loss convergence target of Lemma 4, so the
+simulation results (Fig. 7) can be checked against theory.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "gamma_stationary",
+    "red_loss_stationary",
+    "pels_utility_lower_bound",
+    "yellow_cushion_fraction",
+    "useful_packets_pels",
+]
+
+
+def gamma_stationary(loss: float, p_thr: float) -> float:
+    """Stationary red fraction ``gamma* = p / p_thr`` (Section 4.3)."""
+    if not 0 < p_thr <= 1:
+        raise ValueError("p_thr must be in (0, 1]")
+    if not 0 <= loss <= 1:
+        raise ValueError("loss must be a probability")
+    return loss / p_thr
+
+
+def red_loss_stationary(p_thr: float) -> float:
+    """Lemma 4: red packet loss converges to ``p_thr``."""
+    if not 0 < p_thr <= 1:
+        raise ValueError("p_thr must be in (0, 1]")
+    return p_thr
+
+
+def pels_utility_lower_bound(loss: float, p_thr: float) -> float:
+    """Eq. (6): ``U >= (1 - p/p_thr) / (1 - p)``.
+
+    Assumes only yellow packets are recovered from the FGS layer (the
+    worst case; recovered red packets can only raise utility).
+    """
+    if not 0 <= loss < 1:
+        raise ValueError("loss must be in [0, 1)")
+    gamma = gamma_stationary(loss, p_thr)
+    if gamma > 1:
+        return 0.0
+    return (1 - gamma) / (1 - loss)
+
+
+def yellow_cushion_fraction(p_thr: float) -> float:
+    """Share of the red band reserved as the yellow-protection cushion.
+
+    ``(1 - p_thr) * gamma * x_i`` bytes of headroom protect the yellow
+    queue against sudden loss increases (Section 4.3); as a fraction of
+    the red band this is simply ``1 - p_thr``.
+    """
+    if not 0 < p_thr <= 1:
+        raise ValueError("p_thr must be in (0, 1]")
+    return 1 - p_thr
+
+
+def useful_packets_pels(loss: float, p_thr: float, frame_size: int) -> float:
+    """Expected useful packets per frame for converged PELS.
+
+    The protected (yellow + green) prefix is ``(1 - gamma*) H`` and
+    experiences no loss once gamma has converged, so all of it is
+    useful — compare with Eq. (2)'s best-effort count.
+    """
+    if frame_size < 0:
+        raise ValueError("frame size cannot be negative")
+    gamma = gamma_stationary(loss, p_thr)
+    return max(0.0, (1 - gamma)) * frame_size

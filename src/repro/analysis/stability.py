@@ -1,0 +1,99 @@
+"""Stability analysis for the paper's controllers (Lemmas 2-6).
+
+The gamma controller (Eq. 4/5) and MKC (Eq. 8) are linear (or
+linearizable) difference equations; this module provides their
+characteristic analysis and numeric iteration helpers used by tests and
+the Fig. 5 bench:
+
+* Lemma 2/3 — ``gamma(k) = (1-sigma) gamma(k-D) + sigma p/p_thr`` is
+  stable iff the root of ``z^D = (1-sigma)`` lies inside the unit
+  circle, i.e. ``|1-sigma| < 1`` iff ``0 < sigma < 2`` for any delay D.
+* Lemma 5 — MKC: ``r(k) = (1 - beta p) r(k-D) + alpha``; at the
+  equilibrium loss the linearized pole magnitude is below one iff
+  ``0 < beta < 2``.
+* Lemma 6 — stationary rate ``r* = C/N + alpha/beta`` independent of
+  delay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = [
+    "gamma_pole",
+    "gamma_is_stable",
+    "mkc_pole",
+    "mkc_is_stable",
+    "spectral_radius_delay",
+    "iterate_linear_delay",
+    "converges",
+]
+
+
+def gamma_pole(sigma: float) -> float:
+    """Pole of the gamma recursion: ``1 - sigma``."""
+    return 1.0 - sigma
+
+
+def gamma_is_stable(sigma: float, delay: int = 1) -> bool:
+    """Lemma 2/3: stability iff ``0 < sigma < 2`` for any delay >= 1."""
+    if delay < 1:
+        raise ValueError("delay must be at least one step")
+    return abs(spectral_radius_delay(gamma_pole(sigma), delay)) < 1 and sigma > 0
+
+
+def mkc_pole(beta: float, equilibrium_loss: float) -> float:
+    """Pole of the linearized MKC recursion ``1 - beta * p*``."""
+    return 1.0 - beta * equilibrium_loss
+
+
+def mkc_is_stable(beta: float) -> bool:
+    """Lemma 5: MKC stability under heterogeneous delays iff 0 < beta < 2.
+
+    The equilibrium loss of Eq. (9) satisfies ``0 < p* < 1``, so the
+    pole ``1 - beta p*`` stays in (-1, 1) exactly when ``0 < beta < 2``.
+    """
+    return 0 < beta < 2
+
+
+def spectral_radius_delay(pole: float, delay: int) -> float:
+    """Root magnitude of ``z^D = pole`` — delayed first-order recursion.
+
+    For ``x(k) = a x(k-D)`` the characteristic equation is
+    ``z^D - a = 0`` whose roots all have magnitude ``|a|^(1/D)``; the
+    recursion is stable iff that is below one, i.e. iff ``|a| < 1``
+    regardless of D — the content of Lemma 3.
+    """
+    if delay < 1:
+        raise ValueError("delay must be at least one step")
+    return abs(pole) ** (1.0 / delay)
+
+
+def iterate_linear_delay(pole: float, forcing: float, delay: int,
+                         x0: float, steps: int) -> List[float]:
+    """Iterate ``x(k) = pole * x(k-D) + forcing`` from constant history.
+
+    Returns ``x(0..steps)``.  Used to demonstrate Lemmas 3 and 5
+    numerically under arbitrary feedback delays.
+    """
+    if delay < 1:
+        raise ValueError("delay must be at least one step")
+    if steps < 0:
+        raise ValueError("steps cannot be negative")
+    xs = [x0]
+    for k in range(1, steps + 1):
+        x_old = xs[k - delay] if k - delay >= 0 else x0
+        xs.append(pole * x_old + forcing)
+    return xs
+
+
+def converges(series: Sequence[float], target: float,
+              tolerance: float = 1e-6, tail: int = 10) -> bool:
+    """True if the last ``tail`` entries are within ``tolerance`` of target."""
+    if tail < 1:
+        raise ValueError("tail must be at least one sample")
+    if len(series) < tail:
+        return False
+    return all(math.isfinite(v) and abs(v - target) <= tolerance
+               for v in series[-tail:])

@@ -1,0 +1,50 @@
+"""Rate-based AIMD baseline.
+
+The paper cites AIMD as "unacceptable" for streaming because of large
+rate oscillation; we include it so Fig. 10's discussion (PELS smoothness
+vs AIMD-like fluctuation) and the ablation benches have a concrete
+comparison point.
+"""
+
+from __future__ import annotations
+
+from .base import RateController, register_controller
+
+__all__ = ["AimdController"]
+
+
+@register_controller("aimd")
+class AimdController(RateController):
+    """Additive-increase, multiplicative-decrease on a rate.
+
+    Increases by ``increase_bps`` per feedback interval while the loss
+    sample is below ``loss_threshold``; multiplies the rate by
+    ``1 - decrease_factor`` when loss is signalled.
+    """
+
+    def __init__(self, increase_bps: float = 20_000.0,
+                 decrease_factor: float = 0.5,
+                 loss_threshold: float = 0.0,
+                 initial_rate_bps: float = 128_000.0,
+                 min_rate_bps: float = 8_000.0,
+                 max_rate_bps: float = 1e9) -> None:
+        super().__init__(initial_rate_bps, min_rate_bps, max_rate_bps)
+        if increase_bps <= 0:
+            raise ValueError("increase must be positive")
+        if not 0 < decrease_factor < 1:
+            raise ValueError("decrease factor must be in (0, 1)")
+        if loss_threshold < 0:
+            raise ValueError("loss threshold cannot be negative")
+        self.increase_bps = increase_bps
+        self.decrease_factor = decrease_factor
+        self.loss_threshold = loss_threshold
+        self.backoffs = 0
+
+    def on_feedback(self, loss: float, now: float) -> float:
+        if loss > self.loss_threshold:
+            self.rate_bps = self._clamp(
+                self.rate_bps * (1 - self.decrease_factor))
+            self.backoffs += 1
+        else:
+            self.rate_bps = self._clamp(self.rate_bps + self.increase_bps)
+        return self.rate_bps

@@ -1,0 +1,76 @@
+"""Rate-controller interface shared by all congestion controllers.
+
+PELS is explicitly independent of the congestion controller (paper,
+Section 5): any controller mapping loss feedback to a sending rate can
+drive a PELS source.  This module defines that contract and a small
+registry so experiments can select controllers by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+__all__ = ["RateController", "register_controller", "make_controller",
+           "available_controllers"]
+
+
+class RateController:
+    """Maps network feedback to a sending rate in bits/second.
+
+    Subclasses implement :meth:`on_feedback`; the PELS source calls it
+    once per *fresh* feedback epoch (Section 5.2's freshness rule), so
+    controllers may assume calls are spaced by at least the router
+    feedback interval.
+    """
+
+    def __init__(self, initial_rate_bps: float = 128_000.0,
+                 min_rate_bps: float = 8_000.0,
+                 max_rate_bps: float = 1e9) -> None:
+        if initial_rate_bps <= 0:
+            raise ValueError("initial rate must be positive")
+        if not min_rate_bps <= initial_rate_bps <= max_rate_bps:
+            raise ValueError("initial rate outside [min, max] bounds")
+        self.min_rate_bps = min_rate_bps
+        self.max_rate_bps = max_rate_bps
+        self.rate_bps = initial_rate_bps
+
+    def on_feedback(self, loss: float, now: float) -> float:
+        """Consume a loss sample; return the new rate in bits/second."""
+        raise NotImplementedError
+
+    def _clamp(self, rate: float) -> float:
+        return min(self.max_rate_bps, max(self.min_rate_bps, rate))
+
+    def reset(self, rate_bps: float) -> None:
+        """Restart from a given rate (used when a flow re-joins)."""
+        self.rate_bps = self._clamp(rate_bps)
+
+
+_REGISTRY: Dict[str, Type[RateController]] = {}
+
+
+def register_controller(name: str) -> Callable[[Type[RateController]], Type[RateController]]:
+    """Class decorator registering a controller under ``name``."""
+
+    def decorator(cls: Type[RateController]) -> Type[RateController]:
+        if name in _REGISTRY:
+            raise ValueError(f"controller {name!r} already registered")
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_controller(name: str, **kwargs) -> RateController:
+    """Instantiate a registered controller by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown controller {name!r}; have {sorted(_REGISTRY)}") from None
+    return cls(**kwargs)
+
+
+def available_controllers() -> list[str]:
+    """Names of all registered controllers."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,81 @@
+"""Kelly's utility-based congestion control — Eq. (7) of the paper.
+
+Two variants are provided:
+
+* :class:`KellyController` — Euler discretization of the
+  application-friendly continuous form ``dr/dt = alpha - beta p(t) r(t)``
+  used by Dai & Loguinov for video streaming.
+* :class:`ClassicKellyController` — the classical discrete Kelly/primal
+  update ``r(k+1) = r(k) + kappa (w - p(k) r(k))``, kept as the
+  reference whose delayed-feedback stability problems motivated MKC.
+"""
+
+from __future__ import annotations
+
+from .base import RateController, register_controller
+
+__all__ = ["KellyController", "ClassicKellyController"]
+
+
+@register_controller("kelly")
+class KellyController(RateController):
+    """Euler-discretized continuous Kelly control (Eq. 7).
+
+    ``on_feedback`` advances ``dr/dt = alpha - beta * p * r`` by the
+    elapsed wall-clock since the previous feedback, so the behaviour is
+    step-size aware rather than assuming a fixed control interval.
+    """
+
+    def __init__(self, alpha_bps_per_s: float = 200_000.0, beta_per_s: float = 5.0,
+                 initial_rate_bps: float = 128_000.0,
+                 min_rate_bps: float = 8_000.0,
+                 max_rate_bps: float = 1e9) -> None:
+        super().__init__(initial_rate_bps, min_rate_bps, max_rate_bps)
+        if alpha_bps_per_s <= 0 or beta_per_s <= 0:
+            raise ValueError("gains must be positive")
+        self.alpha_bps_per_s = alpha_bps_per_s
+        self.beta_per_s = beta_per_s
+        self._last_update: float | None = None
+
+    def on_feedback(self, loss: float, now: float) -> float:
+        if self._last_update is None:
+            dt = 0.0
+        else:
+            dt = max(0.0, now - self._last_update)
+        self._last_update = now
+        r = self.rate_bps
+        derivative = self.alpha_bps_per_s - self.beta_per_s * loss * r
+        self.rate_bps = self._clamp(r + derivative * dt)
+        return self.rate_bps
+
+    def stationary_rate(self, loss: float) -> float:
+        """Fixed point ``r* = alpha / (beta p)`` of Eq. (7)."""
+        if loss <= 0:
+            return self.max_rate_bps
+        return self._clamp(self.alpha_bps_per_s / (self.beta_per_s * loss))
+
+
+@register_controller("kelly-classic")
+class ClassicKellyController(RateController):
+    """Classical discrete Kelly primal algorithm.
+
+    ``r(k+1) = r(k) + kappa * (w - p(k) r(k))``; converges to
+    ``r* = w / p`` but, per Johari & Tan, loses stability as feedback
+    delay grows — the comparison point for MKC in the paper.
+    """
+
+    def __init__(self, kappa: float = 0.5, willingness_bps: float = 20_000.0,
+                 initial_rate_bps: float = 128_000.0,
+                 min_rate_bps: float = 8_000.0,
+                 max_rate_bps: float = 1e9) -> None:
+        super().__init__(initial_rate_bps, min_rate_bps, max_rate_bps)
+        if kappa <= 0 or willingness_bps <= 0:
+            raise ValueError("gains must be positive")
+        self.kappa = kappa
+        self.willingness_bps = willingness_bps
+
+    def on_feedback(self, loss: float, now: float) -> float:
+        r = self.rate_bps
+        self.rate_bps = self._clamp(
+            r + self.kappa * (self.willingness_bps - loss * r))
+        return self.rate_bps

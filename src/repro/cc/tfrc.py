@@ -1,0 +1,55 @@
+"""Simplified TFRC-like equation-based controller.
+
+Implements the simple TCP-friendly rate equation
+
+    r = 1.22 * s / (rtt * sqrt(p))
+
+with an EWMA-smoothed loss estimate, mirroring the equation-based
+controllers (Floyd & Padhye) the paper cites as the smooth-streaming
+state of the art.  Used as an additional baseline in ablations; the
+paper notes such controllers "often do not have stationary points in
+the operating range" — visible here as the rate pegging at ``max_rate``
+whenever smoothed loss falls to zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import RateController, register_controller
+
+__all__ = ["TfrcController"]
+
+
+@register_controller("tfrc")
+class TfrcController(RateController):
+    """Equation-based (TFRC-style) rate controller."""
+
+    def __init__(self, packet_size_bytes: int = 500, rtt: float = 0.04,
+                 loss_smoothing: float = 0.25,
+                 initial_rate_bps: float = 128_000.0,
+                 min_rate_bps: float = 8_000.0,
+                 max_rate_bps: float = 1e9) -> None:
+        super().__init__(initial_rate_bps, min_rate_bps, max_rate_bps)
+        if packet_size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if rtt <= 0:
+            raise ValueError("rtt must be positive")
+        if not 0 < loss_smoothing <= 1:
+            raise ValueError("loss smoothing weight must be in (0, 1]")
+        self.packet_size_bytes = packet_size_bytes
+        self.rtt = rtt
+        self.loss_smoothing = loss_smoothing
+        self.smoothed_loss = 0.0
+
+    def on_feedback(self, loss: float, now: float) -> float:
+        w = self.loss_smoothing
+        self.smoothed_loss = (1 - w) * self.smoothed_loss + w * max(0.0, loss)
+        if self.smoothed_loss <= 1e-9:
+            # No stationary point without loss: probe upward additively.
+            self.rate_bps = self._clamp(self.rate_bps * 1.1)
+            return self.rate_bps
+        s_bits = self.packet_size_bytes * 8
+        rate = 1.22 * s_bits / (self.rtt * math.sqrt(self.smoothed_loss))
+        self.rate_bps = self._clamp(rate)
+        return self.rate_bps

@@ -1,0 +1,217 @@
+"""Command-line interface for the PELS reproduction.
+
+Installed as the ``pels`` console script::
+
+    pels simulate --flows 4 --duration 60          # run a PELS session
+    pels experiments --fast --only F7              # regenerate artifacts
+    pels analyze --loss 0.1 --frame 100            # closed-form numbers
+    pels trace --frames 300 --out trace.json       # synthetic Foreman
+
+Also runnable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pels",
+        description="PELS (ICDCS 2004) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a PELS bar-bell session")
+    sim.add_argument("--flows", type=int, default=2)
+    sim.add_argument("--duration", type=float, default=30.0)
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--alpha", type=float, default=20_000.0,
+                     help="MKC additive gain (b/s)")
+    sim.add_argument("--beta", type=float, default=0.5,
+                     help="MKC multiplicative gain")
+    sim.add_argument("--p-thr", type=float, default=0.75,
+                     help="target red-queue loss")
+    sim.add_argument("--sigma", type=float, default=0.5,
+                     help="gamma controller gain")
+    sim.add_argument("--controller", default="mkc",
+                     help="congestion controller (mkc/aimd/tfrc/kelly)")
+    sim.add_argument("--cross-traffic", default="cbr",
+                     choices=["cbr", "tcp", "none"])
+    sim.add_argument("--json", default="", help="write summary JSON here")
+
+    exp = sub.add_parser("experiments",
+                         help="regenerate the paper's tables and figures")
+    exp.add_argument("--fast", action="store_true")
+    exp.add_argument("--only", default="")
+    exp.add_argument("--no-ablations", action="store_true")
+    exp.add_argument("--json", default="")
+
+    ana = sub.add_parser("analyze",
+                         help="closed-form values (Lemmas 1-6)")
+    ana.add_argument("--loss", type=float, required=True)
+    ana.add_argument("--frame", type=int, default=100,
+                     help="FGS frame size H in packets")
+    ana.add_argument("--p-thr", type=float, default=0.75)
+    ana.add_argument("--capacity", type=float, default=2_000_000.0)
+    ana.add_argument("--flows", type=int, default=2)
+    ana.add_argument("--alpha", type=float, default=20_000.0)
+    ana.add_argument("--beta", type=float, default=0.5)
+
+    trc = sub.add_parser("trace", help="generate a synthetic video trace")
+    trc.add_argument("--frames", type=int, default=300)
+    trc.add_argument("--seed", type=int, default=7)
+    trc.add_argument("--out", default="", help="write JSON here (default "
+                                               "stdout)")
+
+    plt = sub.add_parser("plot", help="chart a series from a results "
+                                      "JSON (see experiments --json)")
+    plt.add_argument("results", help="JSON file from experiments --json")
+    plt.add_argument("artifact", help="artifact id, e.g. F9")
+    plt.add_argument("series", nargs="*",
+                     help="series names (default: all in the artifact)")
+    plt.add_argument("--width", type=int, default=72)
+    plt.add_argument("--height", type=int, default=16)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from .core.report import build_report
+    from .core.session import PelsScenario, PelsSimulation
+
+    scenario = PelsScenario(
+        n_flows=args.flows, duration=args.duration, seed=args.seed,
+        alpha_bps=args.alpha, beta=args.beta, p_thr=args.p_thr,
+        sigma=args.sigma, controller_name=args.controller,
+        cross_traffic=args.cross_traffic)
+    sim = PelsSimulation(scenario).run()
+    report = build_report(sim)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis.best_effort import (best_effort_utility,
+                                       expected_useful_packets,
+                                       optimal_useful_packets)
+    from .analysis.pels_model import (gamma_stationary,
+                                      pels_utility_lower_bound)
+    from .cc.mkc import mkc_equilibrium_loss, mkc_stationary_rate
+
+    p, h = args.loss, args.frame
+    print(f"Closed forms at p = {p}, H = {h}, p_thr = {args.p_thr}:")
+    print(f"  E[Y] best-effort (Eq. 2)   : "
+          f"{expected_useful_packets(p, h):.2f} packets")
+    print(f"  E[Y] optimal               : "
+          f"{optimal_useful_packets(p, h):.2f} packets")
+    print(f"  utility best-effort (Eq. 3): {best_effort_utility(p, h):.4f}")
+    print(f"  utility PELS bound (Eq. 6) : "
+          f"{pels_utility_lower_bound(p, args.p_thr):.4f}")
+    print(f"  gamma* = p/p_thr           : "
+          f"{gamma_stationary(p, args.p_thr):.4f}")
+    r_star = mkc_stationary_rate(args.capacity, args.flows, args.alpha,
+                                 args.beta)
+    p_star = mkc_equilibrium_loss(args.capacity, args.flows, args.alpha,
+                                  args.beta)
+    print(f"  MKC r* (Lemma 6)           : {r_star/1e3:.1f} kb/s for "
+          f"{args.flows} flows on {args.capacity/1e6:.1f} mb/s")
+    print(f"  MKC equilibrium loss p*    : {p_star:.4f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .video.traces import generate_foreman_like
+
+    trace = generate_foreman_like(n_frames=args.frames, seed=args.seed)
+    payload = {
+        "name": trace.name,
+        "seed": trace.seed,
+        "frames": [{"id": f.frame_id, "base_psnr_db": f.base_psnr_db,
+                    "complexity": f.complexity, "intra": f.is_intra}
+                   for f in trace.frames],
+    }
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"{args.frames}-frame trace written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_plot(args) -> int:
+    from .experiments.ascii_plot import plot_series
+
+    with open(args.results) as handle:
+        payload = json.load(handle)
+    artifacts = {a["experiment_id"]: a for a in payload.get("artifacts", [])}
+    if args.artifact not in artifacts:
+        print(f"no artifact {args.artifact!r} in {args.results}; have "
+              f"{sorted(artifacts)}", file=sys.stderr)
+        return 2
+    raw = artifacts[args.artifact].get("series", {})
+    wanted = args.series or sorted(raw)
+    series = {}
+    for name in wanted:
+        if name not in raw:
+            print(f"artifact {args.artifact} has no series {name!r}; "
+                  f"have {sorted(raw)}", file=sys.stderr)
+            return 2
+        data = raw[name]
+        if isinstance(data, dict):
+            series[name] = (data["times"], data["values"])
+        else:
+            series[name] = data
+    print(plot_series(series, width=args.width, height=args.height,
+                      title=f"[{args.artifact}]"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(args) -> int:
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "plot":
+        return _cmd_plot(args)
+    if args.command == "experiments":
+        from .experiments.runner import main as experiments_main
+        forwarded: List[str] = []
+        if args.fast:
+            forwarded.append("--fast")
+        if args.only:
+            forwarded.extend(["--only", args.only])
+        if args.no_ablations:
+            forwarded.append("--no-ablations")
+        if args.json:
+            forwarded.extend(["--json", args.json])
+        return experiments_main(forwarded)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

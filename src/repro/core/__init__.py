@@ -1,0 +1,54 @@
+"""PELS — Partitioned Enhancement Layer Streaming (the paper's core).
+
+* :class:`~repro.core.pels_queue.PelsBottleneckQueue` — tri-color
+  strict-priority AQM + Internet FIFO under WRR (Fig. 4 left).
+* :class:`~repro.core.gamma.GammaController` — the red-fraction
+  controller of Eqs. (4)-(5).
+* :class:`~repro.core.feedback.RouterFeedback` /
+  :class:`~repro.core.feedback.FeedbackTracker` — Eq. (11) virtual-loss
+  feedback with epoch freshness (Section 5.2).
+* :class:`~repro.core.source.PelsSource` /
+  :class:`~repro.core.sink.PelsSink` — application endpoints.
+* :class:`~repro.core.session.PelsSimulation` — full Fig. 6 assembly.
+"""
+
+from .best_effort import BestEffortScenario, BestEffortSimulation
+from .colors import (AllGreenMarkingPolicy, MarkingPolicy, NoRedMarkingPolicy,
+                     PelsMarkingPolicy)
+from .feedback import FeedbackTracker, RouterFeedback
+from .gamma import (GammaController, gamma_fixed_point, is_stable_sigma,
+                    iterate_gamma, iterate_gamma_delayed, pels_utility_bound)
+from .multihop import MultiHopPelsSimulation, MultiHopScenario
+from .pels_queue import PelsBottleneckQueue, PelsQueueConfig
+from .report import FlowReport, SessionReport, build_report
+from .session import PelsScenario, PelsSimulation
+from .sink import PelsSink
+from .source import PelsSource
+
+__all__ = [
+    "AllGreenMarkingPolicy",
+    "BestEffortScenario",
+    "BestEffortSimulation",
+    "FeedbackTracker",
+    "FlowReport",
+    "GammaController",
+    "MarkingPolicy",
+    "MultiHopPelsSimulation",
+    "MultiHopScenario",
+    "NoRedMarkingPolicy",
+    "PelsBottleneckQueue",
+    "PelsMarkingPolicy",
+    "PelsQueueConfig",
+    "PelsScenario",
+    "PelsSimulation",
+    "PelsSink",
+    "PelsSource",
+    "SessionReport",
+    "RouterFeedback",
+    "build_report",
+    "gamma_fixed_point",
+    "is_stable_sigma",
+    "iterate_gamma",
+    "iterate_gamma_delayed",
+    "pels_utility_bound",
+]

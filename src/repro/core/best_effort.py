@@ -1,0 +1,185 @@
+"""Closed-loop best-effort streaming session (the paper's §3.1 regime).
+
+The paper evaluates best-effort by applying uniform random loss to the
+FGS layer offline (Section 6.5).  This module additionally provides the
+*closed-loop* version: the same MKC video flows over a single RED FIFO
+bottleneck that ignores packet colors entirely, so drops hit the FGS
+layer uniformly at random (the RED/ECN drop model §3.1 assumes).  The
+green (base) packets are protected at the queue level to mirror the
+paper's "magically protected base layer" — without it, best-effort
+streaming "simply becomes impossible" (their words).
+
+This lets the Lemma 1 arithmetic be checked against a *simulated*
+best-effort network rather than a Bernoulli replay: the measured
+useful-prefix statistics should match Eq. (2) at the measured loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..cc.mkc import MkcController
+from ..sim.engine import Simulator
+from ..sim.packet import Color, Packet
+from ..sim.queues import DropTailQueue, QueueDiscipline, REDQueue
+from ..sim.scheduler import StrictPriorityScheduler, WeightedRoundRobinScheduler
+from ..sim.topology import Barbell, BarbellConfig, build_barbell
+from ..sim.traffic import CbrSource
+from ..video.fgs import FgsConfig
+from .colors import NoRedMarkingPolicy
+from .feedback import RouterFeedback
+from .gamma import GammaController
+from .sink import PelsSink
+from .source import PelsSource
+
+__all__ = ["BestEffortScenario", "BestEffortSimulation"]
+
+
+class _ProtectedBaseQueue(QueueDiscipline):
+    """A RED FIFO for enhancement packets with a protected base lane.
+
+    Green packets bypass the RED queue through a small strict-priority
+    lane (the paper's "magical" base-layer protection); everything else
+    — yellow, red, it makes no difference here — experiences uniform
+    random RED drops.
+    """
+
+    def __init__(self, rng, enhancement_capacity: int = 200,
+                 min_thresh: float = 10, max_thresh: float = 150,
+                 max_p: float = 1.0, name: str = "best-effort-q") -> None:
+        super().__init__(name)
+        self.base_queue = DropTailQueue(capacity_packets=100, name="base-q")
+        self.enhancement_queue = REDQueue(
+            capacity_packets=enhancement_capacity, min_thresh=min_thresh,
+            max_thresh=max_thresh, max_p=max_p, weight=0.02, rng=rng,
+            name="enh-red-q")
+        self.scheduler = StrictPriorityScheduler(
+            [self.base_queue, self.enhancement_queue],
+            classifier=lambda p: 0 if p.color is Color.GREEN else 1)
+
+    def enqueue(self, packet: Packet) -> bool:
+        self.stats.record_arrival(packet)
+        accepted = self.scheduler.enqueue(packet)
+        if not accepted:
+            self.stats.record_drop(packet)
+        return accepted
+
+    def dequeue(self) -> Optional[Packet]:
+        packet = self.scheduler.dequeue()
+        if packet is not None:
+            self.stats.record_departure(packet)
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self.scheduler.peek()
+
+    def __len__(self) -> int:
+        return len(self.scheduler)
+
+    @property
+    def byte_count(self) -> int:
+        return self.scheduler.byte_count
+
+
+@dataclass
+class BestEffortScenario:
+    """Best-effort streaming over a RED bottleneck (no PELS queues)."""
+
+    n_flows: int = 4
+    duration: float = 60.0
+    seed: int = 1
+    alpha_bps: float = 20_000.0
+    beta: float = 0.5
+    initial_rate_bps: float = 128_000.0
+    feedback_interval: float = 0.030
+    feedback_window: int = 5
+    fgs: FgsConfig = field(default_factory=lambda: FgsConfig(
+        frame_packets=256))
+    topology: BarbellConfig = field(default_factory=BarbellConfig)
+    #: Fraction of the bottleneck reserved for the video aggregate
+    #: (kept at 0.5 so operating points match the PELS scenarios).
+    video_share: float = 0.5
+
+    def video_capacity_bps(self) -> float:
+        return self.topology.bottleneck_bps * self.video_share
+
+
+class BestEffortSimulation:
+    """MKC video flows over a color-blind RED bottleneck."""
+
+    def __init__(self, scenario: Optional[BestEffortScenario] = None) -> None:
+        self.scenario = scenario or BestEffortScenario()
+        s = self.scenario
+        self.sim = Simulator(seed=s.seed)
+
+        self.video_queue = _ProtectedBaseQueue(self.sim.rng)
+        internet_queue = DropTailQueue(capacity_packets=64, name="internet-q")
+        bottleneck_queue = WeightedRoundRobinScheduler(
+            [self.video_queue, internet_queue],
+            weights=[s.video_share, 1 - s.video_share],
+            classifier=lambda p: 0 if p.color.is_pels else 1,
+            quantum_bytes=1000, name="wrr")
+
+        topo_cfg = replace(s.topology, n_flows=s.n_flows + 1)
+        self.barbell: Barbell = build_barbell(
+            self.sim, topo_cfg, bottleneck_queue=lambda: bottleneck_queue)
+
+        self.feedback = RouterFeedback(
+            self.sim, capacity_bps=s.video_capacity_bps(),
+            interval=s.feedback_interval,
+            window_intervals=s.feedback_window, name="be-feedback")
+        self.barbell.left_router.add_packet_hook(self.feedback.observe)
+
+        backward = topo_cfg.rtt() / 2
+        self.sources: List[PelsSource] = []
+        self.sinks: List[PelsSink] = []
+        for flow in range(s.n_flows):
+            src_host, dst_host = self.barbell.source_sink_pair(flow)
+            delay_est = topo_cfg.rtt() + s.feedback_interval \
+                * (s.feedback_window + 1) / 2
+            controller = MkcController(
+                alpha_bps=s.alpha_bps, beta=s.beta,
+                feedback_delay=delay_est,
+                initial_rate_bps=s.initial_rate_bps,
+                max_rate_bps=s.fgs.max_rate_bps)
+            # gamma is irrelevant in best-effort; all enhancement is one
+            # class (NoRedMarkingPolicy marks base green, rest yellow).
+            source = PelsSource(
+                self.sim, src_host, dst_host, flow_id=flow,
+                controller=controller,
+                gamma_controller=GammaController(gamma0=0.05),
+                fgs_config=s.fgs,
+                marking_policy=NoRedMarkingPolicy(s.fgs),
+                start_time=(flow * 0.618) % 1.0 * s.fgs.frame_interval)
+            sink = PelsSink(self.sim, dst_host, flow_id=flow, source=source,
+                            ack_delay=backward)
+            self.sources.append(source)
+            self.sinks.append(sink)
+
+        be_src, be_dst = self.barbell.source_sink_pair(s.n_flows)
+        self.cbr = CbrSource(self.sim, be_src, be_dst, flow_id=1000,
+                             rate_bps=3_000_000.0)
+
+    def run(self, until: Optional[float] = None) -> "BestEffortSimulation":
+        self.sim.run(until=until if until is not None
+                     else self.scenario.duration)
+        return self
+
+    def enhancement_loss_rate(self) -> float:
+        """Physical loss rate of the (color-blind) enhancement queue."""
+        return self.video_queue.enhancement_queue.stats.loss_rate
+
+    def frame_receptions(self, flow: int) -> list:
+        source = self.sources[flow]
+        sink = self.sinks[flow]
+        from ..video.decoder import FrameReception
+        receptions = []
+        for frame_id in range(max(source.frame_id, 0)):
+            green, yellow, red = source.frame_log.get(frame_id, (0, 0, 0))
+            reception = sink.frames.get(frame_id,
+                                        FrameReception(frame_id=frame_id))
+            reception.green_sent = green
+            reception.enhancement_sent = yellow + red
+            receptions.append(reception)
+        return receptions

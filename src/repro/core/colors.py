@@ -1,0 +1,62 @@
+"""Packet-marking policies (Section 4.2).
+
+A marking policy decides the color of every packet of a video frame
+given the current rate budget and red fraction gamma.  The standard
+PELS policy marks the base layer green and splits the transmitted FGS
+slice into a yellow prefix and red suffix.  Misbehaving variants are
+included to reproduce the incentive argument of Section 4.1: marking
+everything green moves congestion loss into the base layer and destroys
+the cheater's own quality.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.packet import Color
+from ..video.fgs import FgsConfig, PacketPlan, plan_frame
+
+__all__ = ["MarkingPolicy", "PelsMarkingPolicy", "AllGreenMarkingPolicy",
+           "NoRedMarkingPolicy"]
+
+
+class MarkingPolicy:
+    """Interface: produce the packet plan for one frame."""
+
+    def __init__(self, config: FgsConfig) -> None:
+        self.config = config
+
+    def plan(self, rate_bps: float, gamma: float) -> List[PacketPlan]:
+        raise NotImplementedError
+
+
+class PelsMarkingPolicy(MarkingPolicy):
+    """The paper's marking: green base, yellow/red split by gamma."""
+
+    def plan(self, rate_bps: float, gamma: float) -> List[PacketPlan]:
+        return plan_frame(self.config, rate_bps, gamma)
+
+
+class AllGreenMarkingPolicy(MarkingPolicy):
+    """Misbehaving source that marks every packet green.
+
+    Used to demonstrate Section 4.1's incentive claim: such a source
+    congests the green queue itself, suffering uniform loss in its own
+    base layer.
+    """
+
+    def plan(self, rate_bps: float, gamma: float) -> List[PacketPlan]:
+        return [PacketPlan(p.index_in_frame, Color.GREEN, p.size)
+                for p in plan_frame(self.config, rate_bps, gamma)]
+
+
+class NoRedMarkingPolicy(MarkingPolicy):
+    """Optimistic source that never sends probes (gamma forced to 0).
+
+    Its yellow packets absorb congestion loss directly, recreating the
+    best-effort FIFO situation inside the yellow queue that Section 4.2
+    warns about.
+    """
+
+    def plan(self, rate_bps: float, gamma: float) -> List[PacketPlan]:
+        return plan_frame(self.config, rate_bps, 0.0)

@@ -1,0 +1,143 @@
+"""The gamma (red-fraction) proportional controller — Eqs. (4)-(5).
+
+    gamma(k) = gamma(k-1) + sigma * (p(k-1)/p_thr - gamma(k-1))
+
+adjusts the share of red (probe) packets so that red-queue loss
+converges to ``p_thr`` (Lemma 4), keeping the yellow queue loss-free
+with a ``(1 - p_thr)`` safety cushion.  Lemmas 2-3: stable iff
+``0 < sigma < 2``, with or without feedback delay.
+
+Pure iteration helpers (:func:`iterate_gamma`, :func:`iterate_gamma_delayed`)
+regenerate Fig. 5; :class:`GammaController` is the stateful form the
+PELS source embeds, with the operational bounds the simulations use
+(``gamma_low = 0.05`` so flows keep probing when the network is idle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "GammaController",
+    "gamma_fixed_point",
+    "is_stable_sigma",
+    "iterate_gamma",
+    "iterate_gamma_delayed",
+    "pels_utility_bound",
+]
+
+
+def gamma_fixed_point(loss: float, p_thr: float) -> float:
+    """Stationary point ``gamma* = p / p_thr`` of Eq. (4) (Lemma 4)."""
+    if not 0 < p_thr <= 1:
+        raise ValueError("p_thr must be in (0, 1]")
+    if loss < 0:
+        raise ValueError("loss cannot be negative")
+    return loss / p_thr
+
+
+def is_stable_sigma(sigma: float) -> bool:
+    """Lemma 2/3 stability condition for the gain parameter."""
+    return 0 < sigma < 2
+
+
+def pels_utility_bound(loss: float, p_thr: float) -> float:
+    """Eq. (6): lower bound on PELS utility under converged gamma.
+
+        U >= (1 - p/p_thr) / (1 - p)
+
+    assuming only yellow packets are recovered from the FGS layer.
+    """
+    if not 0 <= loss < 1:
+        raise ValueError("loss must be in [0, 1)")
+    if not 0 < p_thr <= 1:
+        raise ValueError("p_thr must be in (0, 1]")
+    return (1 - loss / p_thr) / (1 - loss)
+
+
+def iterate_gamma(sigma: float, p_thr: float, losses: Sequence[float],
+                  gamma0: float = 0.5) -> List[float]:
+    """Iterate Eq. (4) over a loss sequence; returns gamma(0..n).
+
+    No clamping is applied so instability (|1 - sigma| >= 1) is visible,
+    exactly as in Fig. 5.
+    """
+    if not 0 < p_thr <= 1:
+        raise ValueError("p_thr must be in (0, 1]")
+    gammas = [gamma0]
+    gamma = gamma0
+    for p in losses:
+        gamma = gamma + sigma * (p / p_thr - gamma)
+        gammas.append(gamma)
+    return gammas
+
+
+def iterate_gamma_delayed(sigma: float, p_thr: float, losses: Sequence[float],
+                          delay: int, gamma0: float = 0.5) -> List[float]:
+    """Iterate the delayed controller Eq. (5).
+
+    ``gamma(k) = gamma(k-D) + sigma (p(k-D)/p_thr - gamma(k-D))`` with
+    integer delay ``D`` in control steps; indexes before 0 evaluate to
+    the initial condition.  Lemma 3 asserts the same stability range.
+    """
+    if delay < 1:
+        raise ValueError("delay must be at least one control step")
+    if not 0 < p_thr <= 1:
+        raise ValueError("p_thr must be in (0, 1]")
+    n = len(losses)
+    gammas = [gamma0] * (n + 1)
+    for k in range(1, n + 1):
+        kd = k - delay
+        gamma_old = gammas[kd] if kd >= 0 else gamma0
+        p_old = losses[kd] if kd >= 0 else losses[0] if losses else 0.0
+        gammas[k] = gamma_old + sigma * (p_old / p_thr - gamma_old)
+    return gammas
+
+
+class GammaController:
+    """Stateful gamma controller embedded in a PELS source.
+
+    Applies Eq. (4) on each fresh loss sample, then clamps to the
+    operational band ``[gamma_low, gamma_high]``.  The low bound keeps a
+    minimal probing presence (the simulations use 0.05); the high bound
+    prevents the enhancement layer from turning all red.
+    """
+
+    def __init__(self, sigma: float = 0.5, p_thr: float = 0.75,
+                 gamma0: float = 0.5, gamma_low: float = 0.05,
+                 gamma_high: float = 0.95,
+                 enforce_stability: bool = True) -> None:
+        if enforce_stability and not is_stable_sigma(sigma):
+            raise ValueError("Lemma 2: gamma control is stable iff 0 < sigma < 2")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0 < p_thr <= 1:
+            raise ValueError("p_thr must be in (0, 1]")
+        if not 0 <= gamma_low <= gamma_high <= 1:
+            raise ValueError("need 0 <= gamma_low <= gamma_high <= 1")
+        if not gamma_low <= gamma0 <= gamma_high:
+            raise ValueError("gamma0 outside the operational band")
+        self.sigma = sigma
+        self.p_thr = p_thr
+        self.gamma_low = gamma_low
+        self.gamma_high = gamma_high
+        self.gamma = gamma0
+        self.updates = 0
+
+    def update(self, loss: float) -> float:
+        """One Eq. (4) step with measured FGS loss ``loss``.
+
+        Signed router feedback (Eq. 11 goes negative under spare
+        capacity) is floored at zero here: a negative loss means "no
+        loss" for the purposes of red-band sizing.
+        """
+        loss = max(0.0, loss)
+        raw = self.gamma + self.sigma * (loss / self.p_thr - self.gamma)
+        self.gamma = min(self.gamma_high, max(self.gamma_low, raw))
+        self.updates += 1
+        return self.gamma
+
+    def expected_fixed_point(self, loss: float) -> float:
+        """Clamped stationary point for a stationary loss level."""
+        return min(self.gamma_high,
+                   max(self.gamma_low, gamma_fixed_point(loss, self.p_thr)))

@@ -1,0 +1,150 @@
+"""Structured session reports.
+
+Collects the quantities every PELS evaluation reads — per-flow rates,
+control state, per-color loss/delay, utility — into one serializable
+object, with the corresponding theoretical values alongside so a report
+is self-interpreting.  Used by the ``pels simulate`` CLI and handy in
+notebooks/tests.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..cc.mkc import mkc_equilibrium_loss, mkc_stationary_rate
+from ..sim.packet import Color
+from .session import PelsSimulation
+
+__all__ = ["FlowReport", "SessionReport", "build_report"]
+
+
+@dataclass
+class FlowReport:
+    """Steady-state view of one PELS flow."""
+
+    flow_id: int
+    mean_rate_bps: float
+    gamma: float
+    packets_sent: int
+    frames_sent: int
+    mean_utility: float
+    base_intact_ratio: float
+    delays_ms: Dict[str, float]
+
+
+@dataclass
+class SessionReport:
+    """Whole-session summary with theory columns."""
+
+    n_flows: int
+    duration_s: float
+    pels_capacity_bps: float
+    virtual_loss: float
+    virtual_loss_theory: float
+    rate_theory_bps: float
+    red_loss: Optional[float]
+    p_thr: float
+    drops: Dict[str, int]
+    flows: List[FlowReport] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return asdict(self)
+
+    def fairness(self) -> float:
+        """min/max of the per-flow mean rates."""
+        rates = [f.mean_rate_bps for f in self.flows]
+        if not rates or max(rates) == 0:
+            return float("nan")
+        return min(rates) / max(rates)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"PELS session: {self.n_flows} flows over "
+            f"{self.pels_capacity_bps/1e6:.2f} mb/s for "
+            f"{self.duration_s:.0f}s",
+            f"  loss p  : {self.virtual_loss:.4f} "
+            f"(theory {self.virtual_loss_theory:.4f})",
+            f"  r*      : {self.rate_theory_bps/1e3:.1f} kb/s per flow",
+        ]
+        if self.red_loss is not None:
+            lines.append(f"  red loss: {self.red_loss:.3f} "
+                         f"(target {self.p_thr})")
+        lines.append(f"  drops   : " + " ".join(
+            f"{k}={v}" for k, v in self.drops.items()))
+        for flow in self.flows:
+            lines.append(
+                f"  flow {flow.flow_id}: {flow.mean_rate_bps/1e3:8.1f} kb/s"
+                f"  gamma={flow.gamma:.3f}  utility={flow.mean_utility:.3f}"
+                f"  delays(ms) g/y/r="
+                f"{flow.delays_ms.get('green', float('nan')):.0f}/"
+                f"{flow.delays_ms.get('yellow', float('nan')):.0f}/"
+                f"{flow.delays_ms.get('red', float('nan')):.0f}")
+        lines.append(f"  fairness: {self.fairness():.3f}")
+        return "\n".join(lines)
+
+
+def build_report(sim: PelsSimulation,
+                 warmup_fraction: float = 0.5) -> SessionReport:
+    """Summarize a finished (or paused) simulation.
+
+    ``warmup_fraction`` of the elapsed time is excluded from averages so
+    the report reflects steady state.
+    """
+    if not 0 <= warmup_fraction < 1:
+        raise ValueError("warmup fraction must be in [0, 1)")
+    scenario = sim.scenario
+    now = sim.sim.now
+    warmup = now * warmup_fraction
+
+    capacity = scenario.pels_capacity_bps()
+    p_theory = mkc_equilibrium_loss(capacity, scenario.n_flows,
+                                    scenario.alpha_bps, scenario.beta)
+    r_theory = mkc_stationary_rate(capacity, scenario.n_flows,
+                                   scenario.alpha_bps, scenario.beta)
+    red_tail = [v for t, v in sim.red_loss_series() if t > warmup]
+    q = sim.bottleneck_queue
+
+    flows: List[FlowReport] = []
+    for flow in range(scenario.n_flows):
+        source = sim.sources[flow]
+        sink = sim.sinks[flow]
+        receptions = [r for r in sim.frame_receptions(flow)[10:]
+                      if r.enhancement_sent]
+        utilities = [r.utility() for r in receptions]
+        intact = [1.0 if r.base_intact else 0.0 for r in receptions]
+        delays = {}
+        for color in (Color.GREEN, Color.YELLOW, Color.RED):
+            probe = sink.delay_probes[color]
+            if probe.count:
+                delays[color.name.lower()] = probe.mean * 1000
+        flows.append(FlowReport(
+            flow_id=flow,
+            mean_rate_bps=source.rate_series.mean(warmup, now),
+            gamma=source.gamma_series.mean(warmup, now),
+            packets_sent=source.packets_sent,
+            frames_sent=source.frames_sent,
+            mean_utility=statistics.mean(utilities) if utilities
+            else float("nan"),
+            base_intact_ratio=statistics.mean(intact) if intact
+            else float("nan"),
+            delays_ms=delays,
+        ))
+
+    return SessionReport(
+        n_flows=scenario.n_flows,
+        duration_s=now,
+        pels_capacity_bps=capacity,
+        virtual_loss=sim.mean_virtual_loss(warmup),
+        virtual_loss_theory=p_theory,
+        rate_theory_bps=r_theory,
+        red_loss=statistics.mean(red_tail) if red_tail else None,
+        p_thr=scenario.p_thr,
+        drops={"green": q.green_queue.stats.drops,
+               "yellow": q.yellow_queue.stats.drops,
+               "red": q.red_queue.stats.drops},
+        flows=flows,
+    )

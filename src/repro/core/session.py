@@ -1,0 +1,270 @@
+"""End-to-end PELS simulation assembly.
+
+Wires the Fig. 6 bar-bell together: PELS sources/sinks with MKC (or any
+registered controller), the tri-color WRR bottleneck, the router
+feedback process, optional TCP cross-traffic in the Internet queue, and
+periodic measurement sampling.  Every evaluation figure runs through
+:class:`PelsSimulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..cc.base import make_controller
+from ..cc.tcp import TcpSink, TcpSource
+from ..sim.traffic import CbrSource
+from ..sim.engine import Simulator
+from ..sim.packet import Color
+from ..sim.stats import TimeSeries
+from ..sim.topology import Barbell, BarbellConfig, build_barbell
+from ..video.fgs import FgsConfig
+from .colors import MarkingPolicy, PelsMarkingPolicy
+from .feedback import RouterFeedback
+from .gamma import GammaController
+from .pels_queue import PelsBottleneckQueue, PelsQueueConfig
+from .sink import PelsSink
+from .source import PelsSource
+
+__all__ = ["PelsScenario", "PelsSimulation"]
+
+
+@dataclass
+class PelsScenario:
+    """Complete parameterization of a PELS experiment run.
+
+    Defaults reproduce the setup of Section 6: 4 mb/s bottleneck with
+    50% WRR share for PELS, MKC with alpha = 20 kb/s and beta = 0.5,
+    gamma control with sigma = 0.5 and p_thr = 0.75, feedback every
+    T = 30 ms, flows starting at 128 kb/s.
+    """
+
+    n_flows: int = 2
+    duration: float = 60.0
+    seed: int = 1
+    #: Per-flow start times; defaults to all starting at t = 0.
+    start_times: Optional[List[float]] = None
+
+    controller_name: str = "mkc"
+    alpha_bps: float = 20_000.0
+    beta: float = 0.5
+    initial_rate_bps: float = 128_000.0
+    max_rate_bps: float = 10_000_000.0
+
+    sigma: float = 0.5
+    p_thr: float = 0.75
+    gamma0: float = 0.5
+    gamma_low: float = 0.05
+    gamma_high: float = 0.95
+
+    #: Random reverse-path ACK loss probability (robustness tests).
+    ack_loss_rate: float = 0.0
+    #: Record (frame_id, arrival, color) per packet at every sink
+    #: (needed by the playback-deadline analysis; off by default).
+    record_arrivals: bool = False
+
+    feedback_interval: float = 0.030
+    #: Sliding-window length (in feedback intervals) for the router's
+    #: arrival-rate estimate; see RouterFeedback.window_intervals.
+    feedback_window: int = 5
+    sample_interval: float = 1.0
+
+    #: FGS geometry; the scenario default raises ``frame_packets`` to 256
+    #: (R_max ≈ 1.56 mb/s at the 0.65625 s frame interval) so the MKC
+    #: equilibrium of Fig. 9 (~1 mb/s per flow) is reachable — the paper
+    #: codes the FGS layer at a "very large" R_max (Section 2.3).
+    fgs: FgsConfig = field(
+        default_factory=lambda: FgsConfig(frame_packets=256))
+    topology: BarbellConfig = field(default_factory=BarbellConfig)
+    queue: PelsQueueConfig = field(default_factory=PelsQueueConfig)
+
+    #: Cross traffic in the Internet queue: "cbr" keeps it backlogged so
+    #: WRR grants PELS exactly its share (the paper uses TCP for this);
+    #: "tcp" uses the Reno-like sources; "none" lets PELS take the link.
+    cross_traffic: str = "cbr"
+    cbr_rate_bps: float = 3_000_000.0
+    tcp_flows: int = 2
+    #: Optional per-flow marking policy factory override (see colors.py).
+    marking_policy_factory: Optional[type] = None
+
+    def start_time_of(self, flow: int) -> float:
+        base = 0.0 if self.start_times is None else self.start_times[flow]
+        return base + self.frame_phase_of(flow)
+
+    def frame_phase_of(self, flow: int) -> float:
+        """Deterministic per-flow frame-clock offset.
+
+        Without it every flow would (re)plan frames at identical
+        instants — an artificial synchronization that correlates the
+        plan-time gamma with the aggregate-rate oscillation and skews
+        the effective red share.  Golden-ratio spacing decorrelates the
+        frame clocks while keeping runs reproducible.
+        """
+        return (flow * 0.6180339887) % 1.0 * self.fgs.frame_interval
+
+    def pels_capacity_bps(self) -> float:
+        """The PELS share of the bottleneck (``C`` of Eq. 11)."""
+        return self.topology.bottleneck_bps * self.queue.pels_share()
+
+    def with_staggered_starts(self, batch: int = 2,
+                              spacing: float = 50.0) -> "PelsScenario":
+        """Fig. 8/9 arrival pattern: ``batch`` new flows every ``spacing`` s."""
+        starts = [spacing * (flow // batch) for flow in range(self.n_flows)]
+        return replace(self, start_times=starts)
+
+
+class PelsSimulation:
+    """A fully wired PELS run over the bar-bell topology."""
+
+    def __init__(self, scenario: Optional[PelsScenario] = None) -> None:
+        self.scenario = scenario or PelsScenario()
+        s = self.scenario
+        if s.n_flows < 1:
+            raise ValueError("need at least one PELS flow")
+        if s.start_times is not None and len(s.start_times) != s.n_flows:
+            raise ValueError("start_times must have one entry per flow")
+
+        if s.cross_traffic not in ("none", "cbr", "tcp"):
+            raise ValueError("cross_traffic must be 'none', 'cbr' or 'tcp'")
+        self.sim = Simulator(seed=s.seed)
+        self.bottleneck_queue = PelsBottleneckQueue(s.queue)
+        n_cross = (s.tcp_flows if s.cross_traffic == "tcp"
+                   else 1 if s.cross_traffic == "cbr" else 0)
+        topo_cfg = replace(s.topology, n_flows=s.n_flows + n_cross)
+        self.barbell: Barbell = build_barbell(
+            self.sim, topo_cfg, bottleneck_queue=lambda: self.bottleneck_queue)
+
+        self.feedback = RouterFeedback(
+            self.sim, capacity_bps=s.pels_capacity_bps(),
+            interval=s.feedback_interval, window_intervals=s.feedback_window,
+            name="bottleneck-feedback")
+        self.barbell.left_router.add_packet_hook(self.feedback.observe)
+
+        backward_delay = topo_cfg.rtt() / 2
+        self.sources: List[PelsSource] = []
+        self.sinks: List[PelsSink] = []
+        for flow in range(s.n_flows):
+            src_host, dst_host = self.barbell.source_sink_pair(flow)
+            # The source cannot transmit faster than the coded R_max, so
+            # the controller is clamped there too (otherwise MKC would
+            # integrate its rate far beyond the physical sending rate).
+            max_rate = min(s.max_rate_bps, s.fgs.max_rate_bps)
+            # Age of the loss samples reaching this flow: round trip
+            # plus the router's windowed-measurement lag; Eq. (8)
+            # references the rate from that long ago.
+            delay_est = (topo_cfg.rtt(flow) + s.feedback_interval
+                         * (s.feedback_window + 1) / 2)
+            controller = make_controller(
+                s.controller_name, alpha_bps=s.alpha_bps, beta=s.beta,
+                feedback_delay=delay_est,
+                initial_rate_bps=s.initial_rate_bps,
+                max_rate_bps=max_rate,
+            ) if s.controller_name == "mkc" else make_controller(
+                s.controller_name, initial_rate_bps=s.initial_rate_bps,
+                max_rate_bps=max_rate)
+            gamma = GammaController(
+                sigma=s.sigma, p_thr=s.p_thr, gamma0=s.gamma0,
+                gamma_low=s.gamma_low, gamma_high=s.gamma_high)
+            policy: MarkingPolicy
+            if s.marking_policy_factory is not None:
+                policy = s.marking_policy_factory(s.fgs)
+            else:
+                policy = PelsMarkingPolicy(s.fgs)
+            source = PelsSource(
+                self.sim, src_host, dst_host, flow_id=flow,
+                controller=controller, gamma_controller=gamma,
+                fgs_config=s.fgs, marking_policy=policy,
+                start_time=s.start_time_of(flow))
+            sink = PelsSink(self.sim, dst_host, flow_id=flow, source=source,
+                            ack_delay=backward_delay,
+                            ack_loss_rate=s.ack_loss_rate,
+                            record_arrivals=s.record_arrivals)
+            self.sources.append(source)
+            self.sinks.append(sink)
+
+        self.tcp_sources: List[TcpSource] = []
+        self.tcp_sinks: List[TcpSink] = []
+        self.cbr_source: Optional[CbrSource] = None
+        if s.cross_traffic == "tcp":
+            for i in range(s.tcp_flows):
+                flow_id = 1000 + i
+                pair = s.n_flows + i
+                src_host, dst_host = self.barbell.source_sink_pair(pair)
+                tcp_src = TcpSource(self.sim, src_host, dst_host,
+                                    flow_id=flow_id)
+                tcp_sink = TcpSink(self.sim, dst_host, flow_id=flow_id,
+                                   source=tcp_src, ack_delay=backward_delay)
+                self.tcp_sources.append(tcp_src)
+                self.tcp_sinks.append(tcp_sink)
+        elif s.cross_traffic == "cbr":
+            src_host, dst_host = self.barbell.source_sink_pair(s.n_flows)
+            self.cbr_source = CbrSource(self.sim, src_host, dst_host,
+                                        flow_id=1000,
+                                        rate_bps=s.cbr_rate_bps)
+
+        # Periodic measurement: per-color physical loss at the bottleneck.
+        self.color_loss_series: Dict[Color, TimeSeries] = {
+            color: TimeSeries(f"{color.name.lower()}-loss")
+            for color in (Color.GREEN, Color.YELLOW, Color.RED)
+        }
+        self._sampler = self.feedback.every(s.sample_interval, self._sample)
+
+    def _sample(self) -> None:
+        losses = self.bottleneck_queue.sample_losses(self.sim.now)
+        for color, loss in losses.items():
+            if loss is not None:
+                self.color_loss_series[color].record(self.sim.now, loss)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> "PelsSimulation":
+        """Advance the simulation (defaults to the scenario duration)."""
+        self.sim.run(until=until if until is not None else self.scenario.duration)
+        return self
+
+    def reconfigure_pels_share(self, pels_weight: float) -> None:
+        """Renegotiate the WRR split at runtime (administrative knob).
+
+        Section 4.1 presents the WRR weights as a de-centralized
+        administrative choice; this applies a new PELS weight to the
+        live bottleneck and updates the feedback capacity C of Eq. 11
+        accordingly, so the control loops re-converge to the new share.
+        """
+        if not 0 < pels_weight < 1:
+            raise ValueError("pels weight must be in (0, 1)")
+        wrr = self.bottleneck_queue.scheduler
+        wrr.weights = [pels_weight, 1 - pels_weight]
+        self.feedback.capacity_bps = \
+            self.scenario.topology.bottleneck_bps * pels_weight
+
+    # -- derived results -----------------------------------------------------
+
+    def red_loss_series(self) -> TimeSeries:
+        """Sampled physical loss rate in the red queue (Fig. 7 right)."""
+        return self.color_loss_series[Color.RED]
+
+    def mean_virtual_loss(self, t_start: float = 0.0) -> float:
+        """Average router-computed loss p(k) after ``t_start``."""
+        return self.feedback.loss_series.mean(t_start, float("inf"))
+
+    def flow_rates_bps(self) -> List[float]:
+        return [source.rate_bps for source in self.sources]
+
+    def frame_receptions(self, flow: int) -> list:
+        """Ordered per-frame receptions joined with the send log."""
+        source = self.sources[flow]
+        sink = self.sinks[flow]
+        receptions = []
+        # frame_log holds finalized frames; the in-flight frame (id ==
+        # source.frame_id) is excluded until its deadline passes.
+        for frame_id in range(max(source.frame_id, 0)):
+            green, yellow, red = source.frame_log.get(frame_id, (0, 0, 0))
+            reception = sink.frames.get(frame_id)
+            if reception is None:
+                from ..video.decoder import FrameReception
+                reception = FrameReception(frame_id=frame_id)
+            reception.green_sent = green
+            reception.enhancement_sent = yellow + red
+            receptions.append(reception)
+        return receptions

@@ -1,0 +1,136 @@
+"""The PELS receiver: frame accounting and feedback echo.
+
+The sink records per-frame reception (for the offline PSNR
+reconstruction of Section 6.5), measures one-way packet delays per
+color (Figs. 8-9), and echoes the freshest feedback label back to the
+source in an ACK after the backward propagation delay — the
+uncongested-reverse-path model described in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.node import Host
+from ..sim.packet import Color, Packet
+from ..sim.stats import DelayProbe
+from .source import PelsSource
+
+__all__ = ["PelsSink"]
+
+from ..video.decoder import FrameReception
+
+
+class PelsSink:
+    """Receiver for one PELS flow."""
+
+    def __init__(self, sim: Simulator, host: Host, flow_id: int,
+                 source: Optional[PelsSource] = None,
+                 ack_delay: float = 0.020,
+                 ack_via_network: bool = False,
+                 ack_loss_rate: float = 0.0,
+                 green_packets: Optional[int] = None,
+                 record_arrivals: bool = False) -> None:
+        if not 0 <= ack_loss_rate < 1:
+            raise ValueError("ack loss rate must be in [0, 1)")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.source = source
+        self.ack_delay = ack_delay
+        self.ack_via_network = ack_via_network
+        #: Random ACK drop probability (reverse-path impairment).  The
+        #: epoch-freshness scheme of Section 5.2 makes the control loop
+        #: insensitive to individual ACK losses: any surviving ACK of
+        #: the same epoch delivers the identical label.
+        self.ack_loss_rate = ack_loss_rate
+        self.acks_dropped = 0
+        #: When enabled, every data packet appends
+        #: (frame_id, arrival_time, color) — used by the playback-
+        #: deadline analysis (repro.video.playback).
+        self.record_arrivals = record_arrivals
+        self.arrivals: List[tuple] = []
+        if green_packets is not None:
+            self.green_packets = green_packets
+        elif source is not None:
+            self.green_packets = source.fgs_config.green_packets
+        else:
+            self.green_packets = 21
+
+        self.frames: Dict[int, FrameReception] = {}
+        self.delay_probes: Dict[Color, DelayProbe] = {
+            color: DelayProbe(color.name.lower())
+            for color in (Color.GREEN, Color.YELLOW, Color.RED)
+        }
+        self.packets_received = 0
+        self.bytes_received = 0
+        host.attach_agent(self, flow_id)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.is_ack:
+            return
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        if self.record_arrivals and packet.frame_id is not None:
+            self.arrivals.append((packet.frame_id, self.sim.now,
+                                  packet.color))
+        if packet.color.is_pels:
+            self.delay_probes[packet.color].record(
+                self.sim.now, self.sim.now - packet.created_at)
+        self._account_frame(packet)
+        self._ack(packet)
+
+    def _account_frame(self, packet: Packet) -> None:
+        if packet.frame_id is None or packet.index_in_frame is None:
+            return
+        reception = self.frames.get(packet.frame_id)
+        if reception is None:
+            reception = FrameReception(frame_id=packet.frame_id)
+            self.frames[packet.frame_id] = reception
+        if packet.color is Color.GREEN:
+            reception.green_received += 1
+        else:
+            # Green packets occupy frame indices [0, green_packets); the
+            # enhancement index is relative to the first FGS packet.
+            reception.enhancement_received.add(
+                packet.index_in_frame - self.green_packets)
+
+    def _ack(self, data_packet: Packet) -> None:
+        if self.ack_loss_rate > 0 and \
+                self.sim.rng.random() < self.ack_loss_rate:
+            self.acks_dropped += 1
+            return
+        ack = data_packet.make_ack(self.sim.now)
+        if self.ack_via_network:
+            self.host.send(ack)
+        elif self.source is not None:
+            self.sim.schedule(self.ack_delay, self.source.receive, ack)
+
+    # -- reconstruction helpers ------------------------------------------
+
+    def frame_receptions(self, n_frames: int,
+                         green_sent: int, enhancement_sent_per_frame:
+                         Optional[Dict[int, int]] = None) -> List[FrameReception]:
+        """Materialize ordered receptions for frames ``0..n_frames-1``.
+
+        The source knows how many packets it sent per frame; the caller
+        passes those counts so utility (useful/sent) is well-defined.
+        """
+        out: List[FrameReception] = []
+        for frame_id in range(n_frames):
+            reception = self.frames.get(frame_id,
+                                        FrameReception(frame_id=frame_id))
+            reception.green_sent = green_sent
+            if enhancement_sent_per_frame is not None:
+                reception.enhancement_sent = enhancement_sent_per_frame.get(
+                    frame_id, 0)
+            else:
+                reception.enhancement_sent = max(
+                    reception.enhancement_received, default=-1) + 1
+            out.append(reception)
+        return out
+
+    def mean_delay(self, color: Color) -> float:
+        """Average one-way delay observed for a color."""
+        return self.delay_probes[color].mean

@@ -1,0 +1,167 @@
+"""The PELS application source (Sections 4.2, 5.2).
+
+At each frame boundary the source plans the frame — green base packets
+first, then the FGS slice split into a yellow prefix and red suffix at
+the current gamma (Fig. 4 right) — sized by the congestion controller's
+current rate.  Packets are then paced *adaptively*: the gap to the next
+packet is recomputed from the instantaneous controller rate, so rate
+changes take effect within a packet time (as in the paper's ns2 agents)
+rather than at frame granularity.  If the rate drops mid-frame the plan
+tail (the red/upper packets) simply does not get sent before the frame
+deadline, which is exactly the FGS truncation semantics.
+
+Feedback arrives in ACKs; the freshness tracker admits each router
+epoch once, and a fresh loss sample drives both the rate controller
+(Eq. 8) and the gamma controller (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cc.base import RateController
+from ..sim.engine import Simulator
+from ..sim.node import Host
+from ..sim.packet import Color, Packet
+from ..sim.stats import TimeSeries
+from ..video.fgs import FgsConfig, PacketPlan
+from .colors import MarkingPolicy, PelsMarkingPolicy
+from .feedback import FeedbackTracker
+from .gamma import GammaController
+
+__all__ = ["PelsSource"]
+
+
+class PelsSource:
+    """A PELS video flow: marking + gamma control + congestion control."""
+
+    def __init__(self, sim: Simulator, host: Host, dst_host: Host,
+                 flow_id: int, controller: RateController,
+                 gamma_controller: Optional[GammaController] = None,
+                 fgs_config: Optional[FgsConfig] = None,
+                 marking_policy: Optional[MarkingPolicy] = None,
+                 start_time: float = 0.0,
+                 stop_time: Optional[float] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.dst_host = dst_host
+        self.flow_id = flow_id
+        self.controller = controller
+        self.gamma_controller = gamma_controller or GammaController()
+        self.fgs_config = fgs_config or FgsConfig()
+        self.marking_policy = marking_policy or PelsMarkingPolicy(self.fgs_config)
+        self.start_time = start_time
+        self.stop_time = stop_time
+
+        self.tracker = FeedbackTracker()
+        self.rate_series = TimeSeries(f"rate-flow{flow_id}")
+        self.gamma_series = TimeSeries(f"gamma-flow{flow_id}")
+        self.loss_series = TimeSeries(f"loss-flow{flow_id}")
+
+        self.next_seq = 0
+        self.frame_id = -1
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        #: Per-frame transmission log: frame_id -> (green, yellow, red)
+        #: counts actually emitted.
+        self.frame_log: dict[int, tuple[int, int, int]] = {}
+        self._plan: List[PacketPlan] = []
+        self._plan_pos = 0
+        self._frame_deadline = 0.0
+        self._generation = 0
+        self._counts = [0, 0, 0]
+        self._stopped = False
+
+        host.attach_agent(self, flow_id)
+        sim.schedule(start_time, self._send_frame)
+
+    # -- transmit path -----------------------------------------------------
+
+    def _send_frame(self) -> None:
+        """Plan one frame and start its adaptive pacing loop."""
+        if self._stopped:
+            return
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            self._stopped = True
+            return
+        self._finalize_frame_log()
+        rate = self.controller.rate_bps
+        gamma = self.gamma_controller.gamma
+        self.frame_id += 1
+        self.frames_sent += 1
+        self._plan = self.marking_policy.plan(rate, gamma)
+        self._plan_pos = 0
+        self._counts = [0, 0, 0]
+        self._generation += 1
+        interval = self.fgs_config.frame_interval
+        self._frame_deadline = self.sim.now + interval
+        self.rate_series.record(self.sim.now, rate)
+        self.gamma_series.record(self.sim.now, gamma)
+        self.sim.schedule(interval, self._send_frame)
+        self._emit_next(self._generation)
+
+    def _finalize_frame_log(self) -> None:
+        if self.frame_id >= 0:
+            self.frame_log[self.frame_id] = tuple(self._counts)  # type: ignore[assignment]
+
+    def _emit_next(self, generation: int) -> None:
+        """Emit the next planned packet, then pace at the current rate."""
+        if self._stopped or generation != self._generation:
+            return
+        if self._plan_pos >= len(self._plan):
+            return
+        if self.sim.now >= self._frame_deadline:
+            # Frame deadline passed: the unsent tail is truncated, which
+            # drops the top (red-most) portion of the FGS slice.
+            return
+        plan = self._plan[self._plan_pos]
+        self._plan_pos += 1
+        self._emit(plan)
+        gap = plan.size * 8 / max(self.controller.rate_bps, 1.0)
+        self.sim.schedule(gap, self._emit_next, generation)
+
+    def _emit(self, plan: PacketPlan) -> None:
+        packet = Packet(flow_id=self.flow_id, size=plan.size,
+                        color=plan.color, seq=self.next_seq,
+                        frame_id=self.frame_id,
+                        index_in_frame=plan.index_in_frame,
+                        created_at=self.sim.now,
+                        dst=self.dst_host.node_id)
+        self.next_seq += 1
+        self.packets_sent += 1
+        self.bytes_sent += plan.size
+        if plan.color is Color.GREEN:
+            self._counts[0] += 1
+        elif plan.color is Color.YELLOW:
+            self._counts[1] += 1
+        else:
+            self._counts[2] += 1
+        self.host.send(packet)
+
+    # -- feedback path -------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an ACK carrying a (possibly stale) feedback label."""
+        if not packet.is_ack:
+            return
+        loss = self.tracker.accept(packet.feedback)
+        if loss is None:
+            return
+        now = self.sim.now
+        self.controller.on_feedback(loss, now)
+        self.gamma_controller.update(loss)
+        self.loss_series.record(now, loss)
+
+    def stop(self) -> None:
+        """Terminate the flow (no further packets are emitted)."""
+        self._stopped = True
+        self._finalize_frame_log()
+
+    @property
+    def rate_bps(self) -> float:
+        return self.controller.rate_bps
+
+    @property
+    def gamma(self) -> float:
+        return self.gamma_controller.gamma

@@ -1,0 +1,57 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* ``T1``  — Table 1 (expected useful packets, model vs simulation)
+* ``F2``  — Fig. 2 (useful packets & utility vs H)
+* ``F5``  — Fig. 5 (gamma stability vs sigma)
+* ``F7``  — Fig. 7 (gamma evolution & red loss in full simulation)
+* ``F8``  — Fig. 8 (green/yellow delays)
+* ``F9``  — Fig. 9 (red delays; MKC convergence & fairness)
+* ``F10`` — Fig. 10 (PSNR, PELS vs best-effort)
+* ``X1``  — extension: multi-bottleneck feedback & bottleneck shifts
+* ``X2``  — extension: MKC fairness under heterogeneous delays
+* ``X3``  — extension: R-D constant-quality scaling
+* ``X4``  — extension: closed-loop best-effort (RED) vs Lemma 1
+* ``X5``  — extension: drop-burst structure, RED vs drop-tail (§3)
+* ``X6``  — extension: decoding deadlines, PELS vs retransmission (§1)
+* ``X7``  — extension: PELS vs FEC at equal bandwidth (§1)
+* ``A1-A6`` — ablations (sigma, p_thr, WRR weights, red buffer,
+  controller comparison, two-priority variant)
+
+Run ``python -m repro.experiments [--fast] [--only F7]``.
+"""
+
+from . import (ablations, bursts_exp, closed_loop_be, deadlines,
+               fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
+               heterogeneous, multihop, rd_smoothing, table1)
+from .ascii_plot import plot_series, plot_values
+from .common import ExperimentResult, format_table
+from .export import result_to_dict, write_json, write_series_csv
+from .runner import EXPERIMENTS, main, run_all
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ablations",
+    "bursts_exp",
+    "closed_loop_be",
+    "deadlines",
+    "fec_comparison",
+    "fig2",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "format_table",
+    "heterogeneous",
+    "multihop",
+    "plot_series",
+    "plot_values",
+    "rd_smoothing",
+    "main",
+    "result_to_dict",
+    "run_all",
+    "table1",
+    "write_json",
+    "write_series_csv",
+]

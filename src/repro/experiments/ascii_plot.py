@@ -1,0 +1,106 @@
+"""Terminal line charts for experiment series (no plotting deps).
+
+The environment this reproduction targets has no matplotlib; every
+figure is a time series, so a braille/blocks-free pure-ASCII renderer
+is enough to *see* Fig. 5/7/9-style dynamics directly in the terminal:
+
+    >>> print(plot_series({"gamma": (ts, vs)}, width=60, height=12))
+
+Multiple series overlay with distinct glyphs and a shared scale;
+``python -m repro.experiments --plot`` attaches charts to every
+artifact that recorded series data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["plot_series", "plot_values"]
+
+#: Glyphs assigned to successive series.
+GLYPHS = "*o+x#@%&"
+
+Series = Union[Tuple[Sequence[float], Sequence[float]], Sequence[float]]
+
+
+def _normalize(series: Series) -> Tuple[List[float], List[float]]:
+    """Accept (times, values) pairs or bare value sequences."""
+    if isinstance(series, tuple) and len(series) == 2 \
+            and not isinstance(series[0], (int, float)):
+        times, values = series
+        return list(times), list(values)
+    values = list(series)  # type: ignore[arg-type]
+    return list(range(len(values))), values
+
+
+def plot_series(series: Dict[str, Series], width: int = 72,
+                height: int = 16, title: str = "",
+                y_label: str = "", x_label: str = "") -> str:
+    """Render one or more (time, value) series as an ASCII chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to draw")
+
+    normalized = {name: _normalize(data) for name, data in series.items()}
+    normalized = {name: (t, v) for name, (t, v) in normalized.items() if v}
+    if not normalized:
+        raise ValueError("all series are empty")
+
+    x_min = min(t[0] for t, _ in normalized.values())
+    x_max = max(t[-1] for t, _ in normalized.values())
+    finite = [val for _, v in normalized.values() for val in v
+              if math.isfinite(val)]
+    if not finite:
+        raise ValueError("no finite values to plot")
+    y_min, y_max = min(finite), max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Optional[Tuple[int, int]]:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return None
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for index, (name, (times, values)) in enumerate(normalized.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in zip(times, values):
+            pos = cell(x, y)
+            if pos is not None:
+                grid[pos[0]][pos[1]] = glyph
+
+    left_labels = [f"{y_max:10.4g} ", " " * 11, f"{y_min:10.4g} "]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = left_labels[0]
+        elif row_index == height - 1:
+            prefix = left_labels[2]
+        else:
+            prefix = left_labels[1]
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = f"{x_min:<12.4g}{x_label:^{max(0, width - 24)}}{x_max:>12.4g}"
+    lines.append(" " * 11 + x_axis)
+    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]} {name}"
+                        for i, name in enumerate(normalized))
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def plot_values(values: Sequence[float], width: int = 72, height: int = 12,
+                title: str = "") -> str:
+    """Convenience wrapper for a single unnamed value sequence."""
+    return plot_series({"series": values}, width=width, height=height,
+                       title=title)

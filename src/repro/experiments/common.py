@@ -1,0 +1,99 @@
+"""Shared experiment plumbing: result containers and text rendering.
+
+Every experiment module exposes ``run(fast=...)`` returning an
+:class:`ExperimentResult`; the runner renders them as text tables so
+``python -m repro.experiments`` regenerates the paper's evaluation
+section end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "format_series", "check"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(times: Sequence[float], values: Sequence[float],
+                  name: str, max_points: int = 20) -> str:
+    """Render a decimated (time, value) series for terminal display."""
+    n = len(times)
+    if n == 0:
+        return f"{name}: (empty)"
+    step = max(1, n // max_points)
+    pairs = [f"t={times[i]:.1f}:{values[i]:.3f}" for i in range(0, n, step)]
+    return f"{name}: " + "  ".join(pairs)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced artifact: tables, series and paper-vs-measured checks."""
+
+    experiment_id: str
+    title: str
+    tables: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Named scalar outcomes for programmatic assertions in tests/benches.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Raw data series for plotting, keyed by name -> (times, values).
+    series: Dict[str, Any] = field(default_factory=dict)
+
+    def add_table(self, headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                  title: str = "") -> None:
+        self.tables.append(format_table(headers, rows, title))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.extend(self.tables)
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(parts)
+
+
+def check(result: ExperimentResult, name: str, measured: float,
+          expected: float, rel_tol: float) -> bool:
+    """Record a paper-vs-measured check as a metric + note.
+
+    Returns whether the measured value is within ``rel_tol`` (relative)
+    of the expected value; never raises — experiments report, tests
+    assert.
+    """
+    result.metrics[name] = measured
+    ok = abs(measured - expected) <= rel_tol * max(abs(expected), 1e-12)
+    verdict = "OK" if ok else "DIVERGES"
+    result.note(f"{name}: measured {measured:.4g} vs paper/theory "
+                f"{expected:.4g} [{verdict} @ ±{rel_tol:.0%}]")
+    return ok

@@ -1,0 +1,61 @@
+"""Export experiment results to JSON/CSV for external plotting.
+
+``python -m repro.experiments --json results.json`` dumps every
+regenerated artifact (tables as text, metrics as numbers, raw series as
+arrays) so the figures can be re-plotted with any tool without rerunning
+the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .common import ExperimentResult
+
+__all__ = ["result_to_dict", "write_json", "write_series_csv"]
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable view of one experiment result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "tables": list(result.tables),
+        "notes": list(result.notes),
+        "metrics": dict(result.metrics),
+        "series": {name: _serializable(series)
+                   for name, series in result.series.items()},
+    }
+
+
+def _serializable(series) -> object:
+    if isinstance(series, tuple) and len(series) == 2:
+        times, values = series
+        return {"times": list(times), "values": list(values)}
+    return list(series)
+
+
+def write_json(results: Iterable[ExperimentResult], path: str) -> None:
+    """Write all results to one JSON document."""
+    payload = {"artifacts": [result_to_dict(r) for r in results]}
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def write_series_csv(result: ExperimentResult, name: str,
+                     path: str) -> None:
+    """Write one named series of a result as a two-column CSV."""
+    if name not in result.series:
+        raise KeyError(f"result {result.experiment_id} has no series "
+                       f"{name!r}; available: {sorted(result.series)}")
+    series = result.series[name]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if isinstance(series, tuple) and len(series) == 2:
+            writer.writerow(["time", "value"])
+            writer.writerows(zip(*series))
+        else:
+            writer.writerow(["index", "value"])
+            writer.writerows(enumerate(series))

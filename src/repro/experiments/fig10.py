@@ -1,0 +1,173 @@
+"""Fig. 10 — PSNR of reconstructed Foreman: PELS vs best-effort.
+
+Methodology follows Section 6.5: run the network simulation, collect
+per-frame packet statistics, then apply them to the video sequence
+offline and plot per-frame PSNR.
+
+* **PELS** — per-frame receptions come straight from the simulation
+  (green queue protects the base layer; yellow prefix survives; red
+  dies at the bottleneck).
+* **Best-effort** — the paper's comparison protects the base layer
+  "magically" and applies *uniform random loss* to the FGS layer at the
+  same measured network loss rate, with no retransmission or FEC.  We
+  do exactly that, reusing the per-frame slice sizes of the PELS run.
+
+Operating points: the paper reconstructs at 10% and 19% network loss
+and reports PSNR improvements over base-only of ~60% / ~55% for PELS
+vs ~24% / ~16% for best-effort, with best-effort fluctuating by up to
+15 dB.  We steer the MKC equilibrium to those loss levels by adjusting
+alpha (p* = N·alpha/beta / (C + N·alpha/beta)); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import List
+
+from ..core.session import PelsScenario, PelsSimulation
+from ..video.decoder import FrameReception
+from ..video.fgs import FgsConfig
+from ..video.psnr import PsnrResult, reconstruct_psnr
+from ..video.traces import generate_foreman_like
+from .common import ExperimentResult, check
+
+__all__ = ["run", "loss_targeted_scenario", "best_effort_receptions",
+           "PAPER_IMPROVEMENTS"]
+
+#: loss level -> (paper best-effort improvement %, paper PELS improvement %)
+PAPER_IMPROVEMENTS = {0.10: (24.0, 60.0), 0.19: (16.0, 55.0)}
+
+
+def loss_targeted_scenario(target_loss: float, duration: float,
+                           n_flows: int = 2, seed: int = 11) -> PelsScenario:
+    """Scenario whose MKC equilibrium loss equals ``target_loss``.
+
+    From Lemma 6, p* = N a / (b C + N a); solving for alpha gives
+    ``alpha = p * C * beta / (N (1 - p))``.
+    """
+    if not 0 < target_loss < 1:
+        raise ValueError("target loss must be in (0, 1)")
+    scenario = PelsScenario(n_flows=n_flows, duration=duration, seed=seed,
+                            fgs=FgsConfig(frame_packets=256))
+    capacity = scenario.pels_capacity_bps()
+    alpha = target_loss * capacity * scenario.beta / (
+        n_flows * (1 - target_loss))
+    scenario.alpha_bps = alpha
+    return scenario
+
+
+def best_effort_receptions(pels_receptions: List[FrameReception],
+                           loss: float, seed: int) -> List[FrameReception]:
+    """Apply uniform random FGS loss to the same per-frame slices."""
+    rng = random.Random(seed)
+    out: List[FrameReception] = []
+    for reception in pels_receptions:
+        be = FrameReception(frame_id=reception.frame_id,
+                            green_sent=reception.green_sent,
+                            green_received=reception.green_sent,  # protected
+                            enhancement_sent=reception.enhancement_sent)
+        for index in range(reception.enhancement_sent):
+            if rng.random() >= loss:
+                be.enhancement_received.add(index)
+        out.append(be)
+    return out
+
+
+def full_delivery(receptions: List[FrameReception]) -> List[FrameReception]:
+    """The same per-frame slices with every packet delivered."""
+    return [FrameReception(frame_id=r.frame_id, green_sent=r.green_sent,
+                           green_received=r.green_sent,
+                           enhancement_sent=r.enhancement_sent,
+                           enhancement_received=set(
+                               range(r.enhancement_sent)))
+            for r in receptions]
+
+
+def _summary(result_psnr: PsnrResult, reference: PsnrResult) -> tuple:
+    return (round(result_psnr.mean_psnr, 2),
+            round(100 * result_psnr.improvement_over_base, 1),
+            round(result_psnr.fluctuation_db, 1),
+            round(_delivery_deficit_fluctuation(result_psnr, reference), 1))
+
+
+def _delivery_deficit_fluctuation(result_psnr: PsnrResult,
+                                  reference: PsnrResult) -> float:
+    """Peak-to-peak variation of the *network-induced* PSNR loss.
+
+    The deficit of each frame against a lossless delivery of the same
+    transmitted slice isolates what the network destroyed from what the
+    content/rate dictate.  The paper's "varies by as much as 15 dB" for
+    best-effort is this randomness; PELS' deficit is small and steady.
+    """
+    deficits = [ref - got for got, ref in zip(result_psnr.psnr_db,
+                                              reference.psnr_db)]
+    return max(deficits) - min(deficits)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    duration = 60.0 if fast else 150.0
+    warmup_frames = 20  # skip the slow-start transient frames
+    result = ExperimentResult("F10", "PSNR of reconstructed Foreman "
+                                     "(Fig. 10)")
+
+    for target_loss in (0.10, 0.19):
+        scenario = loss_targeted_scenario(target_loss, duration)
+        sim = PelsSimulation(scenario).run()
+        measured_loss = sim.mean_virtual_loss(duration * 0.3)
+
+        receptions = sim.frame_receptions(0)[warmup_frames:]
+        trace = generate_foreman_like(n_frames=len(receptions), seed=7)
+
+        pels = reconstruct_psnr(trace, receptions,
+                                packet_size=scenario.fgs.packet_size)
+        be = reconstruct_psnr(
+            trace,
+            best_effort_receptions(receptions, measured_loss,
+                                   seed=int(target_loss * 100)),
+            packet_size=scenario.fgs.packet_size)
+
+        reference = reconstruct_psnr(trace, full_delivery(receptions),
+                                     packet_size=scenario.fgs.packet_size)
+        pels_mean, pels_imp, pels_fluct, pels_gain_fluct = _summary(
+            pels, reference)
+        be_mean, be_imp, be_fluct, be_gain_fluct = _summary(be, reference)
+        base_mean = round(pels.mean_base_psnr, 2)
+        paper_be, paper_pels = PAPER_IMPROVEMENTS[target_loss]
+        result.add_table(
+            ["scheme", "mean PSNR (dB)", "improvement over base (%)",
+             "paper (%)", "fluctuation (dB)", "network-induced (dB)"],
+            [("base only", base_mean, 0.0, "-", round(
+                max(pels.base_psnr_db) - min(pels.base_psnr_db), 1), 0.0),
+             ("best-effort", be_mean, be_imp, paper_be, be_fluct,
+              be_gain_fluct),
+             ("PELS", pels_mean, pels_imp, paper_pels, pels_fluct,
+              pels_gain_fluct)],
+            title=f"Target loss {target_loss:.0%} "
+                  f"(measured {measured_loss:.1%}, {len(receptions)} frames)")
+
+        key = f"p{int(target_loss*100)}"
+        check(result, f"measured_loss_{key}", measured_loss, target_loss,
+              rel_tol=0.15)
+        check(result, f"pels_improvement_{key}", pels_imp, paper_pels,
+              rel_tol=0.35)
+        check(result, f"be_improvement_{key}", be_imp, paper_be,
+              rel_tol=0.45)
+        result.metrics[f"pels_over_be_{key}"] = pels_imp / max(be_imp, 1e-9)
+        result.metrics[f"be_fluctuation_{key}"] = be_fluct
+        result.metrics[f"pels_fluctuation_{key}"] = pels_fluct
+        result.metrics[f"be_gain_fluctuation_{key}"] = be_gain_fluct
+        result.metrics[f"pels_gain_fluctuation_{key}"] = pels_gain_fluct
+        result.series[f"pels_psnr_{key}"] = pels.psnr_db
+        result.series[f"be_psnr_{key}"] = be.psnr_db
+        result.series[f"base_psnr_{key}"] = pels.base_psnr_db
+
+    result.note("Shape checks: PELS improvement is a multiple of "
+                "best-effort's; best-effort PSNR fluctuates by >10 dB "
+                "while PELS stays smooth (paper reports up to 15 dB vs "
+                "minimal fluctuation).")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

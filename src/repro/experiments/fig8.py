@@ -1,0 +1,82 @@
+"""Fig. 8 — green and yellow packet delays under arriving flows.
+
+Reproduces the staggered-arrival scenario of Section 6.3: starting from
+two flows, two new PELS flows join every 50 seconds (initial rate
+128 kb/s).  The paper reports green packets averaging ~16 ms and yellow
+~25 ms — one-way delays dominated by propagation, with only
+milliseconds of queueing — and both essentially flat as load grows,
+because strict priority insulates them from the red backlog.
+"""
+
+from __future__ import annotations
+
+from ..core.session import PelsScenario, PelsSimulation
+from ..sim.packet import Color
+from .common import ExperimentResult
+
+__all__ = ["run", "staggered_scenario", "PROPAGATION_ONE_WAY"]
+
+#: One-way propagation on the default bar-bell (5 + 10 + 5 ms).
+PROPAGATION_ONE_WAY = 0.020
+
+
+def staggered_scenario(n_flows: int = 8, duration: float = 200.0,
+                       seed: int = 5) -> PelsScenario:
+    """Two flows join every 50 s, as in Figs. 8-9."""
+    return PelsScenario(n_flows=n_flows, duration=duration,
+                        seed=seed).with_staggered_starts(batch=2, spacing=50.0)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 8 (green and yellow delay series)."""
+    if fast:
+        scenario = staggered_scenario(n_flows=4, duration=100.0)
+    else:
+        scenario = staggered_scenario(n_flows=8, duration=200.0)
+    sim = PelsSimulation(scenario).run()
+
+    result = ExperimentResult("F8", "Green and yellow packet delays "
+                                    "(Fig. 8)")
+    sink = sim.sinks[0]  # flow 0 is active for the whole run
+    epochs = int(scenario.duration // 50)
+    rows = []
+    for epoch in range(epochs):
+        t0, t1 = epoch * 50.0, (epoch + 1) * 50.0
+        green = sink.delay_probes[Color.GREEN].mean_in(t0, t1)
+        yellow = sink.delay_probes[Color.YELLOW].mean_in(t0, t1)
+        flows_active = sum(1 for f in range(scenario.n_flows)
+                           if scenario.start_time_of(f) < t1)
+        rows.append((f"{t0:.0f}-{t1:.0f}", flows_active,
+                     round(green * 1000, 2), round(yellow * 1000, 2)))
+    result.add_table(["interval (s)", "active flows", "green delay (ms)",
+                      "yellow delay (ms)"], rows,
+                     title="One-way delays (propagation = "
+                           f"{PROPAGATION_ONE_WAY*1000:.0f} ms)")
+
+    green_mean = sink.delay_probes[Color.GREEN].mean
+    yellow_mean = sink.delay_probes[Color.YELLOW].mean
+    for name, series in (("green", sink.delay_probes[Color.GREEN].series),
+                         ("yellow", sink.delay_probes[Color.YELLOW].series)):
+        result.series[f"{name}_delay"] = (list(series.times),
+                                          list(series.values))
+
+    # Paper: green ~16 ms, yellow ~25 ms average (their propagation
+    # differs from ours, so compare *queueing* delays loosely and the
+    # green < yellow ordering strictly).
+    green_q = (green_mean - PROPAGATION_ONE_WAY) * 1000
+    yellow_q = (yellow_mean - PROPAGATION_ONE_WAY) * 1000
+    result.metrics["green_delay_ms"] = green_mean * 1000
+    result.metrics["yellow_delay_ms"] = yellow_mean * 1000
+    result.metrics["green_queueing_ms"] = green_q
+    result.metrics["yellow_queueing_ms"] = yellow_q
+    result.note(f"Mean queueing delay: green {green_q:.2f} ms, yellow "
+                f"{yellow_q:.2f} ms (paper's one-way means: 16 / 25 ms).")
+    ordered = green_mean < yellow_mean
+    result.metrics["green_below_yellow"] = float(ordered)
+    result.note("Strict priority keeps green below yellow delays: "
+                + ("confirmed" if ordered else "VIOLATED"))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,67 @@
+"""X2 — MKC under heterogeneous feedback delays (extension).
+
+Lemma 5 guarantees MKC stability for ``0 < beta < 2`` under arbitrary
+heterogeneous delays, and Lemma 6's stationary rate ``C/N + alpha/beta``
+contains no RTT term — so, unlike AIMD/TCP, MKC should not penalize
+long-RTT flows.  The paper defers these simulations to [5, 34]; we run
+them here: three PELS flows share the bottleneck with +0, +50 and
++150 ms of extra one-way access delay, and we verify (a) equal
+stationary rates (RTT-fairness) and (b) no steady-state oscillation for
+any of them.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..cc.mkc import mkc_stationary_rate
+from ..core.session import PelsScenario, PelsSimulation
+from ..sim.topology import BarbellConfig
+from .common import ExperimentResult, check
+
+__all__ = ["run", "EXTRA_DELAYS"]
+
+#: Extra one-way access delay per flow (seconds).
+EXTRA_DELAYS = {0: 0.0, 1: 0.050, 2: 0.150}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    duration = 80.0 if fast else 160.0
+    warmup = duration * 0.6
+    scenario = PelsScenario(
+        n_flows=3, duration=duration, seed=19,
+        topology=BarbellConfig(extra_access_delay=dict(EXTRA_DELAYS)))
+    sim = PelsSimulation(scenario).run()
+
+    result = ExperimentResult("X2", "MKC fairness under heterogeneous "
+                                    "delays (extension)")
+    expected = mkc_stationary_rate(scenario.pels_capacity_bps(), 3,
+                                   scenario.alpha_bps, scenario.beta)
+    rows = []
+    rates = []
+    for flow, extra in EXTRA_DELAYS.items():
+        series = sim.sources[flow].rate_series
+        mean_rate = series.mean(warmup, duration)
+        tail = [v for t, v in series if t > warmup]
+        cov = statistics.pstdev(tail) / mean_rate if mean_rate else 0.0
+        rtt_ms = scenario.topology.rtt(flow) * 1000
+        rows.append((flow, round(rtt_ms, 1), round(mean_rate / 1e3, 1),
+                     round(expected / 1e3, 1), round(cov, 4)))
+        rates.append(mean_rate)
+        check(result, f"rate_flow{flow}", mean_rate, expected, rel_tol=0.10)
+        result.metrics[f"rate_cov_flow{flow}"] = cov
+    result.add_table(
+        ["flow", "RTT (ms)", "rate (kb/s)", "Lemma 6 r* (kb/s)",
+         "rate CoV"], rows,
+        title="Three flows, one bottleneck, RTTs 40/140/340 ms")
+
+    fairness = min(rates) / max(rates)
+    result.metrics["rtt_fairness"] = fairness
+    result.note(f"RTT-fairness min/max = {fairness:.3f}: MKC's "
+                "stationary point has no RTT term (Lemma 6), unlike "
+                "AIMD/TCP whose throughput decays with RTT.")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

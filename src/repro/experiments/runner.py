@@ -1,0 +1,116 @@
+"""Run every reproduced table and figure and print the report.
+
+Usage::
+
+    python -m repro.experiments            # full runs
+    python -m repro.experiments --fast     # CI-sized runs
+    python -m repro.experiments --only F7  # one artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import (ablations, bursts_exp, closed_loop_be, deadlines,
+               fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
+               heterogeneous, multihop, rd_smoothing, table1)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_all", "main"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "T1": table1.run,
+    "F2": fig2.run,
+    "F5": fig5.run,
+    "F7": fig7.run,
+    "F8": fig8.run,
+    "F9": fig9.run,
+    "F10": fig10.run,
+    "X1": multihop.run,
+    "X2": heterogeneous.run,
+    "X3": rd_smoothing.run,
+    "X4": closed_loop_be.run,
+    "X5": bursts_exp.run,
+    "X6": deadlines.run,
+    "X7": fec_comparison.run,
+}
+
+
+def run_all(fast: bool = False, only: str = "",
+            with_ablations: bool = True) -> List[ExperimentResult]:
+    """Run the selected experiments and return their results."""
+    results: List[ExperimentResult] = []
+    for key, fn in EXPERIMENTS.items():
+        if only and key.lower() != only.lower():
+            continue
+        results.append(fn(fast=fast))
+    if with_ablations and not only:
+        results.extend(ablations.run(fast=fast))
+    elif only and only.upper().startswith("A"):
+        results.extend(r for r in ablations.run(fast=fast)
+                       if r.experiment_id.lower() == only.lower())
+    return results
+
+
+def _is_plottable(data) -> bool:
+    """Series of numbers, or a (times, values) pair of number lists."""
+    if isinstance(data, tuple) and len(data) == 2:
+        times, values = data
+        return bool(values) and all(
+            isinstance(v, (int, float)) for v in list(values)[:3])
+    return bool(data) and all(
+        isinstance(v, (int, float)) for v in list(data)[:3])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures")
+    parser.add_argument("--fast", action="store_true",
+                        help="short runs (CI-sized)")
+    parser.add_argument("--only", default="",
+                        help="run a single artifact (e.g. T1, F7, A3)")
+    parser.add_argument("--no-ablations", action="store_true",
+                        help="skip the ablation studies")
+    parser.add_argument("--json", default="",
+                        help="also write all results to this JSON file")
+    parser.add_argument("--plot", action="store_true",
+                        help="render ASCII charts for recorded series")
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    results = run_all(fast=args.fast, only=args.only,
+                      with_ablations=not args.no_ablations)
+    if not results:
+        print(f"no experiment matches {args.only!r}; have "
+              f"{sorted(EXPERIMENTS)} + A1..A6", file=sys.stderr)
+        return 2
+    for result in results:
+        print(result.render())
+        if args.plot and result.series:
+            from .ascii_plot import plot_series
+            plottable = {name: data for name, data in result.series.items()
+                         if _is_plottable(data)}
+            if plottable:
+                print()
+                print(plot_series(plottable,
+                                  title=f"[{result.experiment_id}] series"))
+        print()
+    if args.json:
+        from .export import write_json
+        write_json(results, args.json)
+        print(f"-- results written to {args.json} --")
+    diverging = [
+        note for result in results for note in result.notes
+        if "DIVERGES" in note]
+    print(f"-- {len(results)} artifacts regenerated in "
+          f"{time.time() - t0:.1f}s; {len(diverging)} checks diverged --")
+    for note in diverging:
+        print("   ", note)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

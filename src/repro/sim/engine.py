@@ -1,0 +1,185 @@
+"""Discrete-event simulation engine.
+
+This module is the foundation of the ns2-substitute simulator used by the
+PELS reproduction.  It provides a classic event-heap design:
+
+* :class:`Simulator` owns the virtual clock and the event heap.
+* :class:`Event` is an immutable scheduled callback with a cancellation
+  flag (lazy deletion from the heap).
+* :class:`Process` is a tiny convenience base class for components that
+  need a reference to the simulator and periodic timers.
+
+Time is measured in seconds (float).  Determinism is guaranteed by a
+monotonically increasing sequence number that breaks ties between events
+scheduled for the same instant, and by requiring all randomness to flow
+through :attr:`Simulator.rng` (a seeded ``random.Random``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "Process", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid scheduling operations (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, seq)`` so that simultaneous events fire
+    in scheduling order, which keeps runs reproducible.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the dispatcher skips it (lazy deletion)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-heap discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random number generator.  Every
+        stochastic component must draw from :attr:`rng` (or a generator
+        split from it) so that a run is fully determined by its seed.
+    """
+
+    def __init__(self, seed: int = 1) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.rng = random.Random(seed)
+        self.events_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may later be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        event = Event(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        return self.schedule(when - self._now, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Dispatch events until the heap empties or limits are reached.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  The clock is
+            advanced to ``until`` when the simulation ends early.
+        max_events:
+            Safety valve for runaway simulations.
+        """
+        self._running = True
+        dispatched = 0
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back for a later run() call and stop.
+                    heapq.heappush(self._heap, event)
+                    self._now = until
+                    return
+                self._now = event.time
+                event.callback(*event.args)
+                dispatched += 1
+                self.events_dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    return
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self) -> None:
+        """Run until no events remain."""
+        self.run()
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Process:
+    """Base class for simulation components that schedule events.
+
+    Subclasses receive the simulator and a name; :meth:`every` arranges a
+    periodic callback that keeps rescheduling itself until cancelled via
+    the returned handle.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or self.__class__.__name__
+
+    def every(self, period: float, callback: Callable[[], None],
+              start_delay: Optional[float] = None) -> "PeriodicTimer":
+        """Run ``callback`` every ``period`` seconds until stopped."""
+        return PeriodicTimer(self.sim, period, callback,
+                             start_delay if start_delay is not None else period)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} {self.name!r}>"
+
+
+class PeriodicTimer:
+    """Self-rescheduling timer; created through :meth:`Process.every`."""
+
+    def __init__(self, sim: Simulator, period: float,
+                 callback: Callable[[], None], start_delay: float) -> None:
+        if period <= 0:
+            raise SimulationError("timer period must be positive")
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self._stopped = False
+        self._event = sim.schedule(start_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        if not self._stopped:
+            self._event = self.sim.schedule(self.period, self._fire)
+
+    def stop(self) -> None:
+        """Stop the timer; no further callbacks fire."""
+        self._stopped = True
+        self._event.cancel()

@@ -1,0 +1,100 @@
+"""Point-to-point links with serialization and propagation delay.
+
+A :class:`Link` models the egress side of a node interface: packets are
+handed to :meth:`Link.send`, pass through the attached queue discipline,
+are serialized at the link rate, and arrive at the destination node
+after the propagation delay.  This is the standard ns2 link model
+(queue + transmitter + delay line).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue, QueueDiscipline
+
+__all__ = ["Link"]
+
+#: Hook invoked when a packet starts transmission: (packet, link).
+TxHook = Callable[[Packet, "Link"], None]
+
+
+class Link:
+    """Unidirectional link: queue -> transmitter -> propagation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock.
+    src, dst:
+        Endpoint nodes; ``dst.receive(packet, link)`` is invoked on
+        arrival.
+    rate_bps:
+        Link capacity in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    queue:
+        Egress queue discipline; defaults to a 64-packet drop-tail FIFO.
+    """
+
+    def __init__(self, sim: Simulator, src: "object", dst: "object",
+                 rate_bps: float, delay: float,
+                 queue: Optional[QueueDiscipline] = None, name: str = "") -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.queue = queue if queue is not None else DropTailQueue(name=f"{name}-q")
+        self.name = name or f"{getattr(src, 'name', src)}->{getattr(dst, 'name', dst)}"
+        self.busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.on_transmit: Optional[TxHook] = None
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the egress queue; start the transmitter if idle.
+
+        Returns True if the packet was accepted by the queue.
+        """
+        packet.enqueued_at = self.sim.now
+        accepted = self.queue.enqueue(packet)
+        if accepted and not self.busy:
+            self._start_next()
+        return accepted
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        if self.on_transmit is not None:
+            self.on_transmit(packet, self)
+        tx_time = packet.size_bits / self.rate_bps
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self.sim.schedule(self.delay, self._deliver, packet)
+        # Immediately begin the next packet, if any.
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hops += 1
+        self.dst.receive(packet, self)
+
+    @property
+    def utilization_bytes(self) -> int:
+        """Total bytes that completed transmission on this link."""
+        return self.bytes_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Link {self.name} {self.rate_bps/1e6:.1f}mb/s {self.delay*1e3:.1f}ms>"

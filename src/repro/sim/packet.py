@@ -1,0 +1,131 @@
+"""Packet model for the simulator.
+
+Packets carry both generic network fields and the PELS-specific header
+fields described in the paper (Section 5.2): the color mark and the
+``(router_id, epoch, loss)`` feedback label stamped by congested routers.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Color", "FeedbackLabel", "Packet", "ACK_SIZE"]
+
+#: Size in bytes used for acknowledgment packets.
+ACK_SIZE = 40
+
+
+class Color(enum.IntEnum):
+    """PELS priority classes, ordered from highest to lowest priority.
+
+    ``GREEN`` carries the base layer, ``YELLOW`` the lower (protected)
+    part of the FGS enhancement layer, and ``RED`` the upper probing
+    part.  ``BEST_EFFORT`` marks non-PELS Internet traffic served by the
+    separate FIFO queue.
+    """
+
+    GREEN = 0
+    YELLOW = 1
+    RED = 2
+    BEST_EFFORT = 3
+
+    @property
+    def is_pels(self) -> bool:
+        """True for the three PELS classes (green/yellow/red)."""
+        return self is not Color.BEST_EFFORT
+
+
+@dataclass
+class FeedbackLabel:
+    """The ``(router ID, z, p(k))`` label from the paper (Section 5.2).
+
+    Routers along the path override the label only when their own loss
+    estimate exceeds the one already recorded, so end flows react to the
+    most congested resource (max-min feedback).
+    """
+
+    router_id: int
+    epoch: int
+    loss: float
+
+    def copy(self) -> "FeedbackLabel":
+        return FeedbackLabel(self.router_id, self.epoch, self.loss)
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the sending flow.
+    size:
+        Size in bytes (headers included; the paper uses 500-byte video
+        packets).
+    color:
+        PELS priority class or best-effort.
+    seq:
+        Flow-level sequence number.
+    frame_id / index_in_frame:
+        Position of this packet inside its video frame; used by the
+        receiver-side decoder to count consecutively received packets.
+        ``None`` for non-video traffic.
+    created_at:
+        Simulation time the source emitted the packet.
+    feedback:
+        Label stamped by congested routers (Section 5.2).
+    is_ack / acked_feedback:
+        ACKs echo the most recent feedback label back to the source.
+    """
+
+    flow_id: int
+    size: int
+    color: Color = Color.BEST_EFFORT
+    seq: int = 0
+    frame_id: Optional[int] = None
+    index_in_frame: Optional[int] = None
+    created_at: float = 0.0
+    feedback: Optional[FeedbackLabel] = None
+    is_ack: bool = False
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    enqueued_at: float = 0.0
+    hops: int = 0
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+    @property
+    def size_bits(self) -> int:
+        """Packet size in bits."""
+        return self.size * 8
+
+    def stamp_feedback(self, label: FeedbackLabel) -> None:
+        """Apply a router's feedback label per the max-loss override rule.
+
+        A router overrides an existing label only if its measured loss is
+        strictly larger than the loss already recorded in the header
+        (paper, Section 5.2), so the source learns about the most
+        congested bottleneck on the path.
+        """
+        if self.feedback is None or label.loss > self.feedback.loss:
+            self.feedback = label.copy()
+
+    def make_ack(self, now: float) -> "Packet":
+        """Build the acknowledgment a receiver returns for this packet."""
+        return Packet(
+            flow_id=self.flow_id,
+            size=ACK_SIZE,
+            color=Color.GREEN,
+            seq=self.seq,
+            created_at=now,
+            feedback=self.feedback.copy() if self.feedback else None,
+            is_ack=True,
+            src=self.dst,
+            dst=self.src,
+        )

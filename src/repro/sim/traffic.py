@@ -1,0 +1,94 @@
+"""Simple traffic generators: CBR and Poisson sources.
+
+Used for Internet-queue cross traffic (the paper keeps the best-effort
+aggregate backlogged so WRR grants PELS exactly its 50% share) and for
+queue/scheduler tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import Simulator
+from .node import Host
+from .packet import Color, Packet
+
+__all__ = ["CbrSource", "PoissonSource"]
+
+
+class CbrSource:
+    """Constant-bit-rate source of best-effort packets."""
+
+    def __init__(self, sim: Simulator, host: Host, dst_host: Host,
+                 flow_id: int, rate_bps: float, packet_size: int = 1000,
+                 color: Color = Color.BEST_EFFORT, start_time: float = 0.0,
+                 stop_time: Optional[float] = None) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if packet_size <= 0:
+            raise ValueError("packet size must be positive")
+        self.sim = sim
+        self.host = host
+        self.dst_host = dst_host
+        self.flow_id = flow_id
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.color = color
+        self.stop_time = stop_time
+        self.packets_sent = 0
+        self._seq = 0
+        sim.schedule(start_time, self._emit)
+
+    @property
+    def interval(self) -> float:
+        return self.packet_size * 8 / self.rate_bps
+
+    def _emit(self) -> None:
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return
+        packet = Packet(flow_id=self.flow_id, size=self.packet_size,
+                        color=self.color, seq=self._seq,
+                        created_at=self.sim.now, dst=self.dst_host.node_id)
+        self._seq += 1
+        self.packets_sent += 1
+        self.host.send(packet)
+        self.sim.schedule(self.interval, self._emit)
+
+
+class PoissonSource:
+    """Poisson packet arrivals at a given mean rate (for queue tests)."""
+
+    def __init__(self, sim: Simulator, host: Host, dst_host: Host,
+                 flow_id: int, rate_bps: float, packet_size: int = 1000,
+                 color: Color = Color.BEST_EFFORT, start_time: float = 0.0,
+                 stop_time: Optional[float] = None) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if packet_size <= 0:
+            raise ValueError("packet size must be positive")
+        self.sim = sim
+        self.host = host
+        self.dst_host = dst_host
+        self.flow_id = flow_id
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.color = color
+        self.stop_time = stop_time
+        self.packets_sent = 0
+        self._seq = 0
+        sim.schedule(start_time + self._draw_gap(), self._emit)
+
+    def _draw_gap(self) -> float:
+        mean_interval = self.packet_size * 8 / self.rate_bps
+        return self.sim.rng.expovariate(1.0 / mean_interval)
+
+    def _emit(self) -> None:
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return
+        packet = Packet(flow_id=self.flow_id, size=self.packet_size,
+                        color=self.color, seq=self._seq,
+                        created_at=self.sim.now, dst=self.dst_host.node_id)
+        self._seq += 1
+        self.packets_sent += 1
+        self.host.send(packet)
+        self.sim.schedule(self._draw_gap(), self._emit)

@@ -1,0 +1,136 @@
+"""Block-erasure FEC model (the baseline the paper argues against).
+
+The introduction positions PELS against FEC-based streaming: both avoid
+retransmission, but FEC "wastes" bandwidth on error-correcting codes
+while PELS occupies the channel only with video data.  This module
+models the standard systematic block erasure code — k data packets plus
+m parity per block of n = k + m; the block decodes iff at most m of its
+n packets are lost — and derives what that protection buys an FGS
+stream under the paper's independent-loss model:
+
+* :func:`block_failure_probability` — tail of the binomial,
+  ``P(losses > m)``.
+* :func:`expected_useful_packets_fec` — Lemma 1 lifted to block
+  granularity: the FGS prefix now advances in whole decodable blocks,
+  so with block-failure probability ``q`` the expected useful *data*
+  packets are ``k · (1-q)/q · (1 - (1-q)^B)`` for ``B`` blocks — the
+  same geometric form as Eq. (2).
+* :func:`optimal_parity` — smallest m meeting a target block-failure
+  rate, i.e. the overhead FEC must pay at a given network loss.
+
+All functions assume the paper's Bernoulli loss (Section 3.1); the X7
+experiment Monte-Carlo-checks them and compares net goodput with PELS.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["FecConfig", "block_failure_probability",
+           "expected_useful_packets_fec", "fec_efficiency",
+           "optimal_parity", "simulate_fec_frame"]
+
+
+@dataclass(frozen=True)
+class FecConfig:
+    """A systematic (k data, m parity) block erasure code."""
+
+    data_packets: int
+    parity_packets: int
+
+    def __post_init__(self) -> None:
+        if self.data_packets < 1:
+            raise ValueError("need at least one data packet per block")
+        if self.parity_packets < 0:
+            raise ValueError("parity count cannot be negative")
+
+    @property
+    def block_packets(self) -> int:
+        return self.data_packets + self.parity_packets
+
+    @property
+    def overhead(self) -> float:
+        """Fraction of transmitted bandwidth spent on parity."""
+        return self.parity_packets / self.block_packets
+
+    @property
+    def code_rate(self) -> float:
+        """Fraction of transmitted bandwidth carrying data: k/n."""
+        return self.data_packets / self.block_packets
+
+
+def block_failure_probability(config: FecConfig, loss: float) -> float:
+    """P(block undecodable) = P(Binomial(n, p) > m)."""
+    if not 0 <= loss <= 1:
+        raise ValueError("loss must be a probability")
+    n = config.block_packets
+    m = config.parity_packets
+    survive = 0.0
+    for i in range(m + 1):
+        survive += math.comb(n, i) * loss ** i * (1 - loss) ** (n - i)
+    return max(0.0, 1.0 - survive)
+
+
+def expected_useful_packets_fec(config: FecConfig, loss: float,
+                                n_blocks: int) -> float:
+    """Expected useful *data* packets of an FGS slice coded in blocks.
+
+    FGS prefix semantics survive at block granularity: the decoder
+    consumes whole decodable blocks until the first failed block.  With
+    i.i.d. block failure ``q`` this is Lemma 1 with H = n_blocks,
+    scaled by k data packets per block.
+    """
+    if n_blocks < 0:
+        raise ValueError("block count cannot be negative")
+    if n_blocks == 0:
+        return 0.0
+    q = block_failure_probability(config, loss)
+    if q == 0:
+        return float(config.data_packets * n_blocks)
+    if q == 1:
+        return 0.0
+    blocks = (1 - q) / q * (1 - (1 - q) ** n_blocks)
+    return config.data_packets * blocks
+
+
+def fec_efficiency(config: FecConfig, loss: float, n_blocks: int) -> float:
+    """Useful data packets per *transmitted* packet.
+
+    The denominator charges the parity overhead — the quantity the
+    paper's 'no bandwidth overhead' argument is about.
+    """
+    if n_blocks < 1:
+        raise ValueError("need at least one block")
+    sent = config.block_packets * n_blocks
+    return expected_useful_packets_fec(config, loss, n_blocks) / sent
+
+
+def optimal_parity(data_packets: int, loss: float,
+                   target_block_failure: float = 0.01,
+                   max_parity: int = 64) -> FecConfig:
+    """Smallest parity count meeting the block-failure target."""
+    if not 0 < target_block_failure < 1:
+        raise ValueError("target must be in (0, 1)")
+    for m in range(max_parity + 1):
+        config = FecConfig(data_packets, m)
+        if block_failure_probability(config, loss) <= target_block_failure:
+            return config
+    raise ValueError(
+        f"no parity count up to {max_parity} meets the target at p={loss}")
+
+
+def simulate_fec_frame(config: FecConfig, n_blocks: int, loss: float,
+                       rng: random.Random) -> int:
+    """Monte-Carlo: useful data packets of one FEC-coded FGS slice."""
+    if n_blocks < 0:
+        raise ValueError("block count cannot be negative")
+    useful = 0
+    for _ in range(n_blocks):
+        losses = sum(1 for _ in range(config.block_packets)
+                     if rng.random() < loss)
+        if losses > config.parity_packets:
+            break
+        useful += config.data_packets
+    return useful

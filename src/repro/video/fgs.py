@@ -1,0 +1,145 @@
+"""MPEG-4 FGS frame model and packetization.
+
+The paper streams MPEG-4 coded CIF Foreman: each video frame is 63 000
+bytes (base + FGS at R_max) split into 126 packets of 500 bytes, of
+which 21 are marked green to protect the base layer (Section 6.1).
+
+This module models exactly that geometry: a frame is a sequence of
+packets; the first ``green_packets`` belong to the base layer; the
+remainder is the FGS enhancement, truncated to the congestion-control
+budget and partitioned into a yellow prefix and a red suffix of fraction
+``gamma`` (Fig. 4 right).
+
+Note on frame timing: the paper's numbers (126 packets/frame at
+R_max, base layer at 128 kb/s, per-flow rates up to ~1 mb/s) cannot all
+hold at a single frame rate; we keep the packet counts and the base
+rate authoritative: the default ``frame_interval = 0.65625 s`` makes the
+21 green packets per frame exactly 128 kb/s.  Experiments that need
+higher R_max (Fig. 9's 1 mb/s convergence) raise ``frame_packets``,
+consistent with the paper's statement that the FGS layer is coded at a
+"very large" R_max.  See DESIGN.md §5.
+
+Note on the red fraction: the paper's own convergence argument
+(Section 4.3: ``p_R = p·x_i / (gamma·x_i) = p/gamma`` with ``p`` the
+aggregate loss) requires gamma to be measured against the *whole*
+transmitted slice ``x_i``; red packets themselves are taken from the
+top of the enhancement layer.  ``plan_frame`` therefore marks
+``round(gamma * total)`` packets red (clamped to the enhancement size),
+which makes red loss converge to exactly ``p_thr`` (Lemma 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.packet import Color
+
+__all__ = ["FgsConfig", "PacketPlan", "plan_frame", "split_enhancement"]
+
+
+@dataclass(frozen=True)
+class FgsConfig:
+    """Geometry of an FGS-coded stream (defaults follow Section 6.1)."""
+
+    packet_size: int = 500
+    frame_packets: int = 126
+    green_packets: int = 21
+    #: 21 pkts * 500 B * 8 / 0.65625 s = 128 kb/s base layer, matching
+    #: the paper's initial/base rate.
+    frame_interval: float = 0.65625
+
+    def __post_init__(self) -> None:
+        if self.packet_size <= 0:
+            raise ValueError("packet size must be positive")
+        if self.frame_packets <= 0:
+            raise ValueError("frame must contain at least one packet")
+        if not 0 <= self.green_packets <= self.frame_packets:
+            raise ValueError("green packets must fit within the frame")
+        if self.frame_interval <= 0:
+            raise ValueError("frame interval must be positive")
+
+    @property
+    def enhancement_packets(self) -> int:
+        """FGS packets available per frame at R_max."""
+        return self.frame_packets - self.green_packets
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.frame_packets * self.packet_size
+
+    @property
+    def base_layer_bps(self) -> float:
+        """Rate consumed by the green (base) packets alone."""
+        return self.green_packets * self.packet_size * 8 / self.frame_interval
+
+    @property
+    def max_rate_bps(self) -> float:
+        """Rate of a full frame (R_max) at this frame interval."""
+        return self.frame_bytes * 8 / self.frame_interval
+
+    def packets_for_rate(self, rate_bps: float) -> int:
+        """Packets per frame affordable at ``rate_bps`` (capped at R_max)."""
+        if rate_bps <= 0:
+            return 0
+        budget = int(rate_bps * self.frame_interval / (self.packet_size * 8))
+        return max(0, min(self.frame_packets, budget))
+
+
+@dataclass(frozen=True)
+class PacketPlan:
+    """One packet of a planned frame transmission."""
+
+    index_in_frame: int
+    color: Color
+    size: int
+
+
+def split_enhancement(enhancement_count: int, total_count: int,
+                      gamma: float) -> tuple[int, int]:
+    """Partition the transmitted FGS slice into (yellow, red) counts.
+
+    ``gamma`` is the red fraction of the *total* transmitted slice (see
+    the module docstring): ``red = round(gamma * total_count)``, taken
+    from the top of the enhancement; the remaining enhancement is
+    yellow.  Rounding favours red so a nonzero gamma with a nonzero
+    slice always yields at least one probe packet, which the control
+    loop needs for loss discovery.
+    """
+    if not 0 <= gamma <= 1:
+        raise ValueError("gamma must be within [0, 1]")
+    if enhancement_count < 0:
+        raise ValueError("enhancement count cannot be negative")
+    if total_count < enhancement_count:
+        raise ValueError("total must include the enhancement")
+    if enhancement_count == 0:
+        return 0, 0
+    red = int(round(gamma * total_count))
+    if gamma > 0 and red == 0:
+        red = 1
+    red = min(red, enhancement_count)
+    return enhancement_count - red, red
+
+
+def plan_frame(config: FgsConfig, rate_bps: float, gamma: float) -> List[PacketPlan]:
+    """Plan the packets of one frame at the given rate and red fraction.
+
+    The green base-layer packets are always scheduled first (they are a
+    hard requirement for decoding); the remaining budget is an FGS
+    prefix split into yellow and red.  If the rate cannot even cover the
+    base layer, the frame is truncated inside the base layer — the
+    regime the paper calls "no meaningful streaming" (Section 4.2).
+    """
+    total = config.packets_for_rate(rate_bps)
+    plans: List[PacketPlan] = []
+    greens = min(total, config.green_packets)
+    for i in range(greens):
+        plans.append(PacketPlan(i, Color.GREEN, config.packet_size))
+    enhancement = total - greens
+    yellow, red = split_enhancement(enhancement, total, gamma)
+    for j in range(yellow):
+        plans.append(PacketPlan(greens + j, Color.YELLOW, config.packet_size))
+    for j in range(red):
+        plans.append(PacketPlan(greens + yellow + j, Color.RED,
+                                config.packet_size))
+    return plans

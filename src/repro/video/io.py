@@ -1,0 +1,96 @@
+"""Trace persistence and statistics extraction.
+
+Lets users persist synthetic traces, load their own (e.g. statistics
+extracted from a real coded sequence), and derive the frame-size PMF
+that drives the general Lemma 1 analysis (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .fgs import FgsConfig
+from .traces import FrameInfo, VideoTrace
+
+__all__ = ["save_trace", "load_trace", "frame_size_pmf", "trace_summary"]
+
+PathLike = Union[str, Path]
+
+
+def save_trace(trace: VideoTrace, path: PathLike) -> None:
+    """Write a trace as a self-describing JSON document."""
+    payload = {
+        "format": "repro.video.trace/v1",
+        "name": trace.name,
+        "seed": trace.seed,
+        "frames": [
+            {"id": f.frame_id, "base_psnr_db": f.base_psnr_db,
+             "complexity": f.complexity, "intra": f.is_intra}
+            for f in trace.frames
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_trace(path: PathLike) -> VideoTrace:
+    """Load a trace written by :func:`save_trace` (validated)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro.video.trace/v1":
+        raise ValueError(f"{path}: not a repro video trace "
+                         f"(format={payload.get('format')!r})")
+    frames: List[FrameInfo] = []
+    for i, entry in enumerate(payload["frames"]):
+        if entry["id"] != i:
+            raise ValueError(f"{path}: frame ids must be dense, got "
+                             f"{entry['id']} at position {i}")
+        if entry["complexity"] <= 0:
+            raise ValueError(f"{path}: frame {i} has non-positive "
+                             "complexity")
+        frames.append(FrameInfo(
+            frame_id=entry["id"],
+            base_psnr_db=float(entry["base_psnr_db"]),
+            complexity=float(entry["complexity"]),
+            is_intra=bool(entry["intra"]),
+        ))
+    if not frames:
+        raise ValueError(f"{path}: trace contains no frames")
+    return VideoTrace(name=payload.get("name", "loaded"),
+                      frames=frames, seed=int(payload.get("seed", 0)))
+
+
+def frame_size_pmf(sizes: Sequence[int]) -> Dict[int, float]:
+    """Empirical frame-size PMF ``q_k`` from a sequence of sizes.
+
+    Feed the result to
+    :func:`repro.analysis.best_effort.expected_useful_packets_pmf` to
+    evaluate the general Lemma 1 on measured frame sizes (e.g. the
+    per-frame slice sizes of a finished simulation run).
+    """
+    if not sizes:
+        raise ValueError("need at least one frame size")
+    if any(s < 1 for s in sizes):
+        raise ValueError("frame sizes must be >= 1 packet")
+    total = len(sizes)
+    pmf: Dict[int, float] = {}
+    for size in sizes:
+        pmf[size] = pmf.get(size, 0.0) + 1.0 / total
+    return dict(sorted(pmf.items()))
+
+
+def trace_summary(trace: VideoTrace, config: FgsConfig = None) -> Dict[str, float]:
+    """Headline statistics of a trace (for reports and sanity checks)."""
+    config = config or FgsConfig()
+    psnrs = [f.base_psnr_db for f in trace.frames]
+    complexities = [f.complexity for f in trace.frames]
+    n = len(trace.frames)
+    return {
+        "frames": float(n),
+        "duration_s": n * config.frame_interval,
+        "mean_base_psnr_db": sum(psnrs) / n,
+        "min_base_psnr_db": min(psnrs),
+        "max_base_psnr_db": max(psnrs),
+        "mean_complexity": sum(complexities) / n,
+        "intra_frames": float(sum(1 for f in trace.frames if f.is_intra)),
+    }

@@ -1,0 +1,116 @@
+"""Playback-deadline model (the paper's retransmission argument).
+
+The introduction argues that retransmission-based recovery is useless
+for interactive video: every frame has a decoding deadline, and under
+congestion the RTT is so large that retransmitted packets — which may
+themselves be lost repeatedly — miss it.  PELS avoids retransmission
+entirely: whatever the yellow/green queues deliver arrives once, in
+time.
+
+This module quantifies both sides:
+
+* :class:`PlaybackSchedule` turns per-packet network delays into
+  deadline hits/misses given a receiver startup (buffering) delay.
+* :func:`retransmission_recovery_probability` is the closed-form chance
+  that a lost packet is recovered by ARQ within a deadline budget: each
+  attempt costs one RTT and independently survives with probability
+  ``1 - p``, so ``P(recovered within budget) = 1 - p^floor(budget/RTT)``.
+* :func:`expected_retransmissions` is the mean number of attempts until
+  success, ``1/(1-p)`` (unbounded deadlines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+__all__ = ["PlaybackSchedule", "DeadlineReport",
+           "retransmission_recovery_probability",
+           "expected_retransmissions"]
+
+
+@dataclass(frozen=True)
+class PlaybackSchedule:
+    """Receiver playback clock.
+
+    Frame ``i`` must be fully available at
+    ``first_frame_send_time + startup_delay + i * frame_interval``.
+    """
+
+    startup_delay: float
+    frame_interval: float
+    first_frame_send_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.startup_delay < 0:
+            raise ValueError("startup delay cannot be negative")
+        if self.frame_interval <= 0:
+            raise ValueError("frame interval must be positive")
+
+    def deadline(self, frame_id: int) -> float:
+        """Absolute decode deadline of a frame."""
+        if frame_id < 0:
+            raise ValueError("frame id cannot be negative")
+        return (self.first_frame_send_time + self.startup_delay
+                + frame_id * self.frame_interval)
+
+    def on_time(self, frame_id: int, arrival_time: float) -> bool:
+        return arrival_time <= self.deadline(frame_id)
+
+
+@dataclass
+class DeadlineReport:
+    """Outcome of checking packet arrivals against the playback clock."""
+
+    total: int
+    on_time: int
+
+    @property
+    def miss_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.on_time / self.total
+
+    @classmethod
+    def from_arrivals(cls, schedule: PlaybackSchedule,
+                      arrivals: Iterable[Tuple[int, float]]) -> "DeadlineReport":
+        """Build a report from ``(frame_id, arrival_time)`` pairs."""
+        total = 0
+        on_time = 0
+        for frame_id, arrival in arrivals:
+            total += 1
+            if schedule.on_time(frame_id, arrival):
+                on_time += 1
+        return cls(total=total, on_time=on_time)
+
+
+def retransmission_recovery_probability(loss: float, rtt: float,
+                                        deadline_budget: float) -> float:
+    """P(an ARQ-recovered packet arrives within ``deadline_budget``).
+
+    The first retransmission can arrive one RTT after the loss is
+    detected; attempt ``k`` arrives at ``k * rtt`` and survives with
+    probability ``1 - loss`` independently, so with
+    ``K = floor(budget / rtt)`` attempts available the recovery
+    probability is ``1 - loss**K``.
+    """
+    if not 0 <= loss < 1:
+        raise ValueError("loss must be in [0, 1)")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    if deadline_budget < 0:
+        raise ValueError("deadline budget cannot be negative")
+    attempts = int(math.floor(deadline_budget / rtt))
+    if attempts <= 0:
+        return 0.0
+    if loss == 0:
+        return 1.0
+    return 1.0 - loss ** attempts
+
+
+def expected_retransmissions(loss: float) -> float:
+    """Mean ARQ attempts until success: ``1 / (1 - loss)``."""
+    if not 0 <= loss < 1:
+        raise ValueError("loss must be in [0, 1)")
+    return 1.0 / (1.0 - loss)

@@ -1,0 +1,139 @@
+"""Rate-distortion model mapping useful FGS bytes to PSNR gain.
+
+The paper evaluates PSNR by enhancing each base-layer frame with the
+*consecutively received* FGS packets (Section 6.5).  Lacking the actual
+MPEG-4 reference codec, we use the standard logarithmic R-D model for
+FGS enhancement layers:
+
+    gain(u) = scale * ln(1 + u / ref_bytes)
+
+which is concave (diminishing returns per extra bitplane) and matches
+published FGS R-D curves in shape.  The default calibration reproduces
+the paper's reported improvements — roughly +60% PSNR for PELS and +24%
+for best-effort at 10% loss on Foreman (see EXPERIMENTS.md):
+
+* a frame fully enhanced (~52 500 B) gains ≈ 17.5 dB;
+* ~9 useful packets (best-effort at p=0.1) gain ≈ 6.8 dB.
+
+A bitplane view is also provided for realism: FGS codes residuals in
+bitplanes of roughly doubling size, each contributing a decreasing PSNR
+increment; :class:`BitplaneRdCurve` exposes that structure while
+agreeing with the log model at bitplane boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["LogRdCurve", "BitplaneRdCurve", "default_curve"]
+
+
+@dataclass(frozen=True)
+class LogRdCurve:
+    """Concave logarithmic PSNR-gain curve.
+
+    Parameters
+    ----------
+    scale:
+        dB multiplier of the log term.
+    ref_bytes:
+        Knee of the curve; gains accrue quickly up to a few
+        ``ref_bytes`` and slowly afterwards.
+    complexity:
+        Per-frame multiplier (>1 for hard-to-code frames where extra
+        enhancement bytes buy less quality... inverse applied to scale).
+    """
+
+    scale: float = 4.9
+    ref_bytes: float = 1500.0
+    complexity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.ref_bytes <= 0:
+            raise ValueError("scale and ref_bytes must be positive")
+        if self.complexity <= 0:
+            raise ValueError("complexity must be positive")
+
+    def gain(self, useful_bytes: float) -> float:
+        """PSNR improvement in dB from ``useful_bytes`` of consecutive FGS."""
+        if useful_bytes <= 0:
+            return 0.0
+        return (self.scale / self.complexity) * math.log1p(
+            useful_bytes / self.ref_bytes)
+
+    def bytes_for_gain(self, gain_db: float) -> float:
+        """Inverse of :meth:`gain`."""
+        if gain_db <= 0:
+            return 0.0
+        return self.ref_bytes * (
+            math.exp(gain_db * self.complexity / self.scale) - 1)
+
+
+class BitplaneRdCurve:
+    """Bitplane-structured R-D curve.
+
+    FGS transmits DCT residual bitplanes most-significant first; each
+    complete bitplane adds a fixed PSNR increment and partial bitplanes
+    contribute proportionally (FGS property: the stream is decodable at
+    any truncation point).
+    """
+
+    def __init__(self, plane_bytes: Sequence[int],
+                 plane_gains_db: Sequence[float]) -> None:
+        if len(plane_bytes) != len(plane_gains_db):
+            raise ValueError("plane sizes and gains must align")
+        if not plane_bytes:
+            raise ValueError("need at least one bitplane")
+        if any(b <= 0 for b in plane_bytes):
+            raise ValueError("bitplane sizes must be positive")
+        if any(g < 0 for g in plane_gains_db):
+            raise ValueError("bitplane gains cannot be negative")
+        self.plane_bytes = list(plane_bytes)
+        self.plane_gains_db = list(plane_gains_db)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.plane_bytes)
+
+    @property
+    def total_gain_db(self) -> float:
+        return sum(self.plane_gains_db)
+
+    def gain(self, useful_bytes: float) -> float:
+        """Gain from a consecutive prefix of ``useful_bytes``."""
+        remaining = max(0.0, useful_bytes)
+        total = 0.0
+        for size, plane_gain in zip(self.plane_bytes, self.plane_gains_db):
+            if remaining <= 0:
+                break
+            used = min(remaining, size)
+            total += plane_gain * used / size
+            remaining -= used
+        return total
+
+    @classmethod
+    def from_log_curve(cls, curve: LogRdCurve, n_planes: int = 6,
+                       first_plane_bytes: int = 1800) -> "BitplaneRdCurve":
+        """Discretize a log curve into doubling bitplanes.
+
+        Plane k has ``first_plane_bytes * 2**k`` bytes; its gain is the
+        log curve's increment across the plane, so the two models agree
+        exactly at every bitplane boundary.
+        """
+        if n_planes < 1:
+            raise ValueError("need at least one bitplane")
+        sizes: List[int] = [first_plane_bytes * (2 ** k) for k in range(n_planes)]
+        gains: List[float] = []
+        cumulative = 0
+        for size in sizes:
+            before = curve.gain(cumulative)
+            cumulative += size
+            gains.append(curve.gain(cumulative) - before)
+        return cls(sizes, gains)
+
+
+def default_curve(complexity: float = 1.0) -> LogRdCurve:
+    """The calibrated Foreman-like R-D curve used across experiments."""
+    return LogRdCurve(scale=4.9, ref_bytes=1500.0, complexity=complexity)

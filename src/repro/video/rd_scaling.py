@@ -1,0 +1,86 @@
+"""R-D-aware rate scaling (the paper's referenced-but-unused extension).
+
+Section 6.5 notes that PELS' residual quality fluctuation "can be
+further reduced using sophisticated R-D scaling methods [5] (not used
+in this work)".  This module implements that method: instead of cutting
+the same fraction from every FGS frame, the server distributes a byte
+budget across a window of frames so that reconstructed quality is as
+*constant* as possible.
+
+With concave per-frame gain curves the constant-quality allocation is
+the water-filling solution: find the PSNR level ``Q`` such that giving
+each frame exactly the bytes it needs to reach ``Q`` (clamped to its
+available enhancement) exhausts the budget.  ``Q`` is monotone in the
+budget, so a bisection suffices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .traces import FrameInfo
+
+__all__ = ["allocate_constant_quality", "allocate_uniform",
+           "psnr_of_allocation"]
+
+
+def allocate_uniform(frames: Sequence[FrameInfo], total_bytes: float,
+                     max_bytes_per_frame: float) -> List[float]:
+    """Baseline: every frame gets the same slice (the paper's default)."""
+    if total_bytes < 0:
+        raise ValueError("budget cannot be negative")
+    if not frames:
+        return []
+    per_frame = min(total_bytes / len(frames), max_bytes_per_frame)
+    return [per_frame] * len(frames)
+
+
+def allocate_constant_quality(frames: Sequence[FrameInfo],
+                              total_bytes: float,
+                              max_bytes_per_frame: float,
+                              tolerance_db: float = 1e-4) -> List[float]:
+    """Water-filling allocation equalizing reconstructed PSNR.
+
+    Returns per-frame enhancement byte budgets summing to (at most)
+    ``total_bytes``; each frame is individually capped at
+    ``max_bytes_per_frame`` (its coded enhancement size).
+    """
+    if total_bytes < 0:
+        raise ValueError("budget cannot be negative")
+    if max_bytes_per_frame <= 0:
+        raise ValueError("per-frame cap must be positive")
+    if not frames:
+        return []
+
+    curves = [f.rd_curve() for f in frames]
+
+    def bytes_needed(target_q: float) -> List[float]:
+        out = []
+        for frame, curve in zip(frames, curves):
+            gain = max(0.0, target_q - frame.base_psnr_db)
+            out.append(min(max_bytes_per_frame, curve.bytes_for_gain(gain)))
+        return out
+
+    # Bracket the achievable quality level.
+    lo = min(f.base_psnr_db for f in frames)
+    hi = max(f.base_psnr_db + c.gain(max_bytes_per_frame)
+             for f, c in zip(frames, curves))
+    if sum(bytes_needed(hi)) <= total_bytes:
+        return bytes_needed(hi)  # budget covers full quality everywhere
+
+    while hi - lo > tolerance_db:
+        mid = (lo + hi) / 2
+        if sum(bytes_needed(mid)) > total_bytes:
+            hi = mid
+        else:
+            lo = mid
+    return bytes_needed(lo)
+
+
+def psnr_of_allocation(frames: Sequence[FrameInfo],
+                       allocation: Sequence[float]) -> List[float]:
+    """Reconstructed PSNR per frame for a given byte allocation."""
+    if len(frames) != len(allocation):
+        raise ValueError("allocation must cover every frame")
+    return [f.base_psnr_db + f.rd_curve().gain(b)
+            for f, b in zip(frames, allocation)]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the PELS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import PelsScenario, PelsSimulation
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh seeded simulator."""
+    return Simulator(seed=123)
+
+
+@pytest.fixture(scope="session")
+def converged_two_flow() -> PelsSimulation:
+    """A converged 2-flow PELS run shared by read-only integration tests.
+
+    Session-scoped because it takes ~1.5 s to simulate; tests must not
+    mutate it.
+    """
+    scenario = PelsScenario(n_flows=2, duration=40.0, seed=7)
+    return PelsSimulation(scenario).run()
+
+
+@pytest.fixture(scope="session")
+def converged_four_flow() -> PelsSimulation:
+    """A converged 4-flow PELS run (p* ~ 7.4%) for integration tests."""
+    scenario = PelsScenario(n_flows=4, duration=60.0, seed=11)
+    return PelsSimulation(scenario).run()

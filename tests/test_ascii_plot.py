@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.ascii_plot import plot_series, plot_values
+
+
+class TestPlotSeries:
+    def test_basic_render_shape(self):
+        chart = plot_series({"a": ([0, 1, 2], [0.0, 1.0, 2.0])},
+                            width=40, height=8, title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert len([l for l in lines if "|" in l]) == 8
+        assert "* a" in lines[-1]
+
+    def test_extremes_are_labeled(self):
+        chart = plot_series({"a": ([0, 1], [-5.0, 10.0])}, width=30,
+                            height=6)
+        assert "10" in chart
+        assert "-5" in chart
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = plot_series({"up": [0, 1, 2], "down": [2, 1, 0]},
+                            width=30, height=6)
+        assert "*" in chart and "o" in chart
+        assert "* up" in chart and "o down" in chart
+
+    def test_bare_value_sequence_accepted(self):
+        chart = plot_values([1.0, 2.0, 3.0], width=30, height=6)
+        assert "series" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = plot_series({"flat": [5.0, 5.0, 5.0]}, width=30, height=6)
+        assert "*" in chart
+
+    def test_nan_values_skipped(self):
+        chart = plot_series({"a": [1.0, math.nan, 3.0]}, width=30, height=6)
+        assert "*" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series({})
+        with pytest.raises(ValueError):
+            plot_series({"a": []})
+        with pytest.raises(ValueError):
+            plot_series({"a": [math.nan]})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series({"a": [1.0]}, width=5, height=2)
+
+    def test_monotone_series_renders_monotone(self):
+        """The glyph column order follows the data order."""
+        chart = plot_series({"a": ([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])},
+                            width=40, height=8)
+        rows = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+        positions = []
+        for row_index, row in enumerate(rows):
+            for col, ch in enumerate(row):
+                if ch == "*":
+                    positions.append((col, row_index))
+        positions.sort()
+        row_sequence = [r for _, r in positions]
+        assert row_sequence == sorted(row_sequence, reverse=True)
+
+    def test_axis_labels(self):
+        chart = plot_series({"a": ([10, 20], [1, 2])}, width=40, height=6,
+                            x_label="time", y_label="rate")
+        assert "10" in chart and "20" in chart
+        assert "[y: rate]" in chart
+        assert "time" in chart

@@ -1,0 +1,62 @@
+"""Tests for the closed-loop best-effort session (extension X4)."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis.best_effort import expected_useful_packets
+from repro.core.best_effort import BestEffortScenario, BestEffortSimulation
+
+
+@pytest.fixture(scope="module")
+def be_run():
+    scenario = BestEffortScenario(n_flows=4, duration=50.0, seed=27)
+    return BestEffortSimulation(scenario).run()
+
+
+@pytest.mark.slow
+class TestBestEffortSimulation:
+    def test_base_layer_protected(self, be_run):
+        """The 'magical' base protection: zero green drops."""
+        assert be_run.video_queue.base_queue.stats.drops == 0
+        receptions = be_run.frame_receptions(0)[10:]
+        assert all(r.base_intact for r in receptions)
+
+    def test_enhancement_experiences_loss(self, be_run):
+        assert be_run.enhancement_loss_rate() > 0.02
+
+    def test_loss_is_spread_not_tail_bursts(self, be_run):
+        """RED should fragment the decodable prefix severely: the
+        measured useful count collapses toward Lemma 1, far below the
+        delivered count."""
+        receptions = [r for r in be_run.frame_receptions(0)[15:]
+                      if r.enhancement_sent > 10]
+        useful = statistics.mean(r.useful_enhancement for r in receptions)
+        received = statistics.mean(r.received_enhancement_count
+                                   for r in receptions)
+        assert useful < 0.4 * received
+
+    def test_matches_lemma1_at_measured_loss(self, be_run):
+        receptions = [r for r in be_run.frame_receptions(0)[15:]
+                      if r.enhancement_sent > 10]
+        loss = be_run.enhancement_loss_rate()
+        mean_sent = statistics.mean(r.enhancement_sent for r in receptions)
+        measured = statistics.mean(r.useful_enhancement for r in receptions)
+        predicted = expected_useful_packets(loss, round(mean_sent))
+        assert measured == pytest.approx(predicted, rel=0.3)
+
+    def test_mkc_still_converges(self, be_run):
+        """Congestion control is orthogonal to the queueing discipline."""
+        s = be_run.scenario
+        rate = be_run.sources[0].rate_series.mean(30, 50)
+        expected = s.video_capacity_bps() / s.n_flows \
+            + s.alpha_bps / s.beta
+        assert rate == pytest.approx(expected, rel=0.15)
+
+    def test_utility_far_below_pels(self, be_run):
+        receptions = [r for r in be_run.frame_receptions(0)[15:]
+                      if r.enhancement_sent > 10]
+        utility = statistics.mean(r.utility() for r in receptions)
+        assert utility < 0.4  # PELS runs sit above 0.9

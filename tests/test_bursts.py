@@ -1,0 +1,105 @@
+"""Tests for loss-burst analysis and the X5 experiment machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bursts import (burst_pmf, drop_bursts,
+                                   fit_geometric_rate, geometric_pmf,
+                                   mean_burst_length, tail_beyond)
+from repro.experiments.bursts_exp import measure_bursts
+
+
+class TestDropBursts:
+    def test_simple_runs(self):
+        indicator = [False, True, True, False, True, False, False, True]
+        assert drop_bursts(indicator) == [2, 1, 1]
+
+    def test_trailing_burst_counted(self):
+        assert drop_bursts([False, True, True]) == [2]
+
+    def test_no_drops(self):
+        assert drop_bursts([False] * 10) == []
+
+    def test_all_drops_single_burst(self):
+        assert drop_bursts([True] * 7) == [7]
+
+    def test_empty(self):
+        assert drop_bursts([]) == []
+
+    @given(indicator=st.lists(st.booleans(), max_size=500))
+    @settings(max_examples=200)
+    def test_bursts_account_for_all_drops(self, indicator):
+        bursts = drop_bursts(indicator)
+        assert sum(bursts) == sum(indicator)
+        assert all(b >= 1 for b in bursts)
+
+
+class TestBurstStatistics:
+    def test_pmf_sums_to_one(self):
+        pmf = burst_pmf([1, 1, 2, 3, 1])
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        assert pmf[1] == pytest.approx(0.6)
+
+    def test_pmf_empty(self):
+        assert burst_pmf([]) == {}
+
+    def test_geometric_reference(self):
+        pmf = geometric_pmf(0.2, max_k=3)
+        assert pmf[1] == pytest.approx(0.8)
+        assert pmf[2] == pytest.approx(0.16)
+
+    def test_geometric_validation(self):
+        with pytest.raises(ValueError):
+            geometric_pmf(0.0, 5)
+        with pytest.raises(ValueError):
+            geometric_pmf(0.5, 0)
+
+    def test_mean_and_fit(self):
+        # Geometric with p=0.5 has mean 2.
+        rng = random.Random(3)
+        bursts = []
+        for _ in range(20_000):
+            k = 1
+            while rng.random() < 0.5:
+                k += 1
+            bursts.append(k)
+        assert mean_burst_length(bursts) == pytest.approx(2.0, rel=0.03)
+        assert fit_geometric_rate(bursts) == pytest.approx(0.5, abs=0.02)
+
+    def test_fit_all_singletons(self):
+        assert fit_geometric_rate([1, 1, 1]) == 0.0
+
+    def test_tail_beyond(self):
+        assert tail_beyond([1, 2, 6, 9], 5) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            tail_beyond([1], -1)
+
+    def test_bernoulli_stream_is_geometric(self):
+        """End-to-end: Bernoulli drop indicator -> geometric bursts."""
+        rng = random.Random(7)
+        indicator = [rng.random() < 0.3 for _ in range(100_000)]
+        bursts = drop_bursts(indicator)
+        assert mean_burst_length(bursts) == pytest.approx(1 / 0.7, rel=0.03)
+
+
+@pytest.mark.slow
+class TestMeasureBursts:
+    def test_red_matches_geometric_reference(self):
+        bursts, loss = measure_bursts("red", duration=40.0)
+        assert mean_burst_length(bursts) == pytest.approx(
+            1.0 / (1.0 - loss), rel=0.25)
+
+    def test_droptail_bursts_much_longer(self):
+        red_bursts, _ = measure_bursts("red", duration=40.0)
+        tail_bursts, _ = measure_bursts("droptail", duration=40.0)
+        assert mean_burst_length(tail_bursts) > \
+            2.5 * mean_burst_length(red_bursts)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            measure_bursts("fifo", duration=1.0)

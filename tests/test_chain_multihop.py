@@ -1,0 +1,113 @@
+"""Tests for the chain topology and multi-bottleneck PELS (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multihop import MultiHopPelsSimulation, MultiHopScenario
+from repro.sim.chain import ChainConfig, build_chain
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+class TestChainTopology:
+    def test_structure(self, sim):
+        chain = build_chain(sim, ChainConfig(n_flows=2,
+                                             hop_bps=(1e6, 2e6, 3e6)))
+        assert len(chain.routers) == 4
+        assert len(chain.hop_links) == 3
+        assert [l.rate_bps for l in chain.hop_links] == [1e6, 2e6, 3e6]
+
+    def test_end_to_end_across_all_hops(self, sim):
+        chain = build_chain(sim, ChainConfig(n_flows=1, hop_bps=(1e6, 1e6)))
+        src, dst = chain.source_sink_pair(0)
+        agent = Collector()
+        dst.attach_agent(agent)
+        src.send(Packet(flow_id=0, size=500, dst=dst.node_id))
+        sim.run()
+        assert len(agent.packets) == 1
+        assert agent.packets[0].hops == 4  # access + 2 hops + access
+
+    def test_rtt(self):
+        cfg = ChainConfig(hop_bps=(1e6, 1e6), hop_delay=0.005,
+                          access_delay=0.005)
+        assert cfg.rtt() == pytest.approx(0.040)
+
+    def test_custom_hop_queue_factory(self, sim):
+        from repro.sim.queues import DropTailQueue
+        queues = [DropTailQueue(capacity_packets=5, name=f"q{i}")
+                  for i in range(2)]
+        chain = build_chain(sim, ChainConfig(hop_bps=(1e6, 1e6)),
+                            hop_queue=lambda i: queues[i])
+        assert chain.hop_links[0].queue is queues[0]
+        assert chain.hop_links[1].queue is queues[1]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            build_chain(sim, ChainConfig(n_flows=0))
+        with pytest.raises(ValueError):
+            build_chain(sim, ChainConfig(hop_bps=()))
+
+
+@pytest.mark.slow
+class TestMultiHopPels:
+    @pytest.fixture(scope="class")
+    def shifted(self):
+        """A run in which the bottleneck moves from hop 0 to hop 1."""
+        scenario = MultiHopScenario(
+            n_flows=2, duration=80.0, seed=21,
+            hop_bps=(4_000_000.0, 6_000_000.0),
+            pels_interferers=((1, 40.0, 80.0, 3_000_000.0),))
+        return MultiHopPelsSimulation(scenario).run()
+
+    def test_initial_bottleneck_is_first_hop(self, shifted):
+        # Before the interferer, hop 0 (2 mb/s PELS share) binds; the
+        # tracker keeps hop-1 labels out because hop-0 loss is larger
+        # during that phase.  After the shift the id must be hop 1's.
+        assert shifted.bottleneck_router_id_of(0) == \
+            shifted.router_id_of_hop(1)
+
+    def test_rates_adapt_to_new_bottleneck(self, shifted):
+        from repro.experiments.multihop import shifted_equilibrium_rate
+        expected = shifted_equilibrium_rate(
+            3_000_000.0, 3_000_000.0, 2, 20_000.0, 0.5)
+        tail = shifted.sources[0].rate_series.mean(70.0, 80.0)
+        assert tail == pytest.approx(expected, rel=0.2)
+
+    def test_hop_losses_reflect_shift(self, shifted):
+        losses = shifted.hop_losses()
+        assert losses[1] > losses[0]
+
+    def test_all_flows_follow_the_shift(self, shifted):
+        for flow in range(2):
+            assert shifted.bottleneck_router_id_of(flow) == \
+                shifted.router_id_of_hop(1)
+
+    def test_per_hop_feedback_ids_unique(self, shifted):
+        assert shifted.router_id_of_hop(0) != shifted.router_id_of_hop(1)
+
+
+class TestMultiHopNoInterferer:
+    def test_single_bottleneck_matches_barbell_equilibrium(self):
+        scenario = MultiHopScenario(n_flows=2, duration=40.0, seed=3,
+                                    hop_bps=(4_000_000.0, 6_000_000.0))
+        sim = MultiHopPelsSimulation(scenario).run()
+        # Only hop 0 is congested; Lemma 6 equilibrium applies there.
+        expected = scenario.pels_capacity_of(0) / 2 + 40_000.0
+        assert sim.sources[0].rate_series.mean(25, 40) == pytest.approx(
+            expected, rel=0.08)
+        assert sim.bottleneck_router_id_of(0) == sim.router_id_of_hop(0)
+
+    def test_uncongested_hop_reports_near_zero_loss(self):
+        scenario = MultiHopScenario(n_flows=2, duration=30.0, seed=3,
+                                    hop_bps=(4_000_000.0, 6_000_000.0))
+        sim = MultiHopPelsSimulation(scenario).run()
+        assert sim.hop_losses()[1] == pytest.approx(0.0, abs=0.02)

@@ -1,0 +1,134 @@
+"""Unit + property tests for the consecutive-prefix FGS decoder."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.best_effort import expected_useful_packets
+from repro.video.decoder import (FrameReception, monte_carlo_useful_packets,
+                                 monte_carlo_useful_packets_pmf,
+                                 simulate_bernoulli_frame,
+                                 useful_prefix_length)
+
+
+class TestUsefulPrefix:
+    def test_all_received(self):
+        assert useful_prefix_length(range(10), 10) == 10
+
+    def test_gap_stops_prefix(self):
+        assert useful_prefix_length([0, 1, 3, 4], 5) == 2
+
+    def test_first_lost_means_zero(self):
+        assert useful_prefix_length([1, 2, 3], 4) == 0
+
+    def test_empty(self):
+        assert useful_prefix_length([], 0) == 0
+        assert useful_prefix_length([], 5) == 0
+
+    def test_extraneous_indices_ignored(self):
+        assert useful_prefix_length([0, 1, 99], 2) == 2
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            useful_prefix_length([0], -1)
+
+    @given(received=st.sets(st.integers(0, 49)), total=st.integers(0, 50))
+    @settings(max_examples=200)
+    def test_matches_reference_definition(self, received, total):
+        """The prefix length equals the smallest missing index (capped)."""
+        expected = 0
+        while expected < total and expected in received:
+            expected += 1
+        assert useful_prefix_length(received, total) == expected
+
+
+class TestFrameReception:
+    def test_base_intact_gates_usefulness(self):
+        r = FrameReception(frame_id=0, green_sent=21, green_received=20,
+                           enhancement_sent=10,
+                           enhancement_received=set(range(10)))
+        assert not r.base_intact
+        assert r.useful_enhancement == 0
+
+    def test_useful_counts_prefix(self):
+        r = FrameReception(frame_id=0, green_sent=2, green_received=2,
+                           enhancement_sent=5,
+                           enhancement_received={0, 1, 3})
+        assert r.useful_enhancement == 2
+
+    def test_utility_matches_eq3_definition(self):
+        r = FrameReception(frame_id=0, green_sent=0, green_received=0,
+                           enhancement_sent=10,
+                           enhancement_received={0, 1, 2, 5, 6})
+        assert r.utility() == pytest.approx(3 / 5)
+
+    def test_utility_nothing_sent(self):
+        assert FrameReception(frame_id=0).utility() == 1.0
+
+    def test_utility_nothing_received(self):
+        r = FrameReception(frame_id=0, enhancement_sent=10)
+        assert r.utility() == 0.0
+
+
+class TestBernoulliSimulation:
+    def test_no_loss_receives_all(self):
+        r = simulate_bernoulli_frame(100, 0.0, random.Random(1))
+        assert r.useful_enhancement == 100
+
+    def test_total_loss_receives_none(self):
+        r = simulate_bernoulli_frame(100, 1.0, random.Random(1))
+        assert r.received_enhancement_count == 0
+
+    def test_loss_rate_statistics(self):
+        rng = random.Random(7)
+        received = sum(
+            simulate_bernoulli_frame(100, 0.2, rng).received_enhancement_count
+            for _ in range(500))
+        assert received / 50_000 == pytest.approx(0.8, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_bernoulli_frame(-1, 0.1, random.Random(1))
+        with pytest.raises(ValueError):
+            simulate_bernoulli_frame(10, 1.5, random.Random(1))
+        with pytest.raises(ValueError):
+            monte_carlo_useful_packets(10, 0.1, 0)
+
+    @pytest.mark.parametrize("loss", [0.01, 0.05, 0.1, 0.3])
+    def test_monte_carlo_matches_lemma1(self, loss):
+        """Table 1's agreement: simulation vs Eq. (2) within 5%."""
+        sim_value = monte_carlo_useful_packets(100, loss, 20_000, seed=3)
+        model = expected_useful_packets(loss, 100)
+        assert sim_value == pytest.approx(model, rel=0.05)
+
+    @given(loss=st.floats(0.02, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_monte_carlo_tracks_model_property(self, loss):
+        sim_value = monte_carlo_useful_packets(60, loss, 4000, seed=11)
+        model = expected_useful_packets(loss, 60)
+        assert sim_value == pytest.approx(model, rel=0.15, abs=0.3)
+
+
+class TestPmfMonteCarlo:
+    def test_matches_general_lemma1(self):
+        from repro.analysis.best_effort import expected_useful_packets_pmf
+        pmf = {50: 0.5, 150: 0.5}
+        sim_value = monte_carlo_useful_packets_pmf(pmf, 0.05, 20_000, seed=5)
+        model = expected_useful_packets_pmf(0.05, pmf)
+        assert sim_value == pytest.approx(model, rel=0.05)
+
+    def test_degenerate_pmf_reduces_to_constant(self):
+        a = monte_carlo_useful_packets_pmf({80: 1.0}, 0.1, 5000, seed=9)
+        b = monte_carlo_useful_packets(80, 0.1, 5000, seed=9)
+        # Same seed stream differs (extra draws), but means agree.
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monte_carlo_useful_packets_pmf({}, 0.1, 10)
+        with pytest.raises(ValueError):
+            monte_carlo_useful_packets_pmf({10: 1.0}, 0.1, 0)

@@ -1,0 +1,177 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Process, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self, sim):
+        fired = []
+        for tag in range(10):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_schedule_at_absolute_time(self, sim):
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, fired.append, "x"))
+        fired = []
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_events_scheduled_during_run_are_dispatched(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_time_skips_cancelled(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunLimits:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=3.0)
+        assert fired == ["a"]
+        assert sim.now == 3.0
+
+    def test_run_until_resumable(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=3.0)
+        sim.run(until=10.0)
+        assert fired == ["a", "b"]
+
+    def test_run_until_advances_clock_when_idle(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_limit(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_events_dispatched_counter(self, sim):
+        for i in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_random_stream(self):
+        a = Simulator(seed=42)
+        b = Simulator(seed=42)
+        assert [a.rng.random() for _ in range(5)] == \
+               [b.rng.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1)
+        b = Simulator(seed=2)
+        assert a.rng.random() != b.rng.random()
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self, sim):
+        ticks = []
+        proc = Process(sim, "p")
+        proc.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_custom_start_delay(self, sim):
+        ticks = []
+        proc = Process(sim, "p")
+        proc.every(1.0, lambda: ticks.append(sim.now), start_delay=0.25)
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_timer(self, sim):
+        ticks = []
+        proc = Process(sim, "p")
+        timer = proc.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_stop_inside_callback(self, sim):
+        ticks = []
+        proc = Process(sim, "p")
+
+        def cb():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                timer.stop()
+
+        timer = proc.every(1.0, cb)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_nonpositive_period_rejected(self, sim):
+        proc = Process(sim, "p")
+        with pytest.raises(SimulationError):
+            proc.every(0.0, lambda: None)

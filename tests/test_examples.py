@@ -1,0 +1,59 @@
+"""Smoke tests for the example scripts.
+
+Every example must import cleanly (they are documentation as much as
+code); the fast analytic ones also run end-to-end.  The long-running
+simulation walkthroughs are exercised under the ``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=()):
+    """Execute an example as __main__ with a controlled argv."""
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExampleInventory:
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert names == {
+            "quickstart.py", "video_quality_comparison.py",
+            "flow_churn.py", "misbehaving_source.py",
+            "controller_playground.py", "multi_bottleneck.py",
+            "fec_vs_pels.py",
+        }
+
+    def test_every_example_has_usage_docstring(self):
+        for path in EXAMPLES.glob("*.py"):
+            text = path.read_text()
+            assert "Usage:" in text, f"{path.name} lacks a Usage line"
+            assert text.startswith("#!/usr/bin/env python3"), path.name
+
+
+class TestAnalyticExamples:
+    def test_fec_vs_pels_runs(self, capsys):
+        run_example("fec_vs_pels.py")
+        out = capsys.readouterr().out
+        assert "PELS" in out and "parity overhead" in out
+
+
+@pytest.mark.slow
+class TestSimulationExamples:
+    def test_quickstart_runs(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "congestion control (Lemma 6)" in out
+        assert "drops: green=0 yellow=0" in out

@@ -1,0 +1,97 @@
+"""Unit tests for experiment-module internals (scenario builders, helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.mkc import mkc_equilibrium_loss
+from repro.experiments.fig8 import staggered_scenario
+from repro.experiments.fig9 import convergence_scenario
+from repro.experiments.fig10 import (best_effort_receptions, full_delivery,
+                                     loss_targeted_scenario)
+from repro.video.decoder import FrameReception
+
+
+class TestStaggeredScenario:
+    def test_batched_starts(self):
+        scenario = staggered_scenario(n_flows=8, duration=200.0)
+        bases = [50.0 * (f // 2) for f in range(8)]
+        for flow, base in enumerate(bases):
+            start = scenario.start_time_of(flow)
+            # Start = batch time + the per-flow frame phase (< 1 interval).
+            assert base <= start < base + scenario.fgs.frame_interval
+
+    def test_duration_covers_last_batch(self):
+        scenario = staggered_scenario(n_flows=8, duration=200.0)
+        assert max(scenario.start_time_of(f) for f in range(8)) < 200.0
+
+
+class TestConvergenceScenario:
+    def test_headroom_for_solo_capacity(self):
+        scenario = convergence_scenario()
+        # R_max must exceed the solo equilibrium C + alpha/beta.
+        solo = scenario.pels_capacity_bps() + \
+            scenario.alpha_bps / scenario.beta
+        assert scenario.fgs.max_rate_bps > solo
+
+    def test_join_time_parameter(self):
+        scenario = convergence_scenario(duration=60.0, join_time=12.0)
+        assert scenario.start_times[1] == 12.0
+        assert scenario.start_time_of(0) < 1.0
+
+
+class TestLossTargetedScenario:
+    @pytest.mark.parametrize("target", [0.05, 0.10, 0.19, 0.30])
+    def test_alpha_solves_lemma6_for_target(self, target):
+        scenario = loss_targeted_scenario(target, duration=10.0)
+        implied = mkc_equilibrium_loss(
+            scenario.pels_capacity_bps(), scenario.n_flows,
+            scenario.alpha_bps, scenario.beta)
+        assert implied == pytest.approx(target, rel=1e-9)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            loss_targeted_scenario(0.0, duration=10.0)
+        with pytest.raises(ValueError):
+            loss_targeted_scenario(1.0, duration=10.0)
+
+
+class TestBestEffortReceptions:
+    def _source(self, n=5, sent=50):
+        return [FrameReception(frame_id=i, green_sent=21,
+                               enhancement_sent=sent) for i in range(n)]
+
+    def test_base_always_protected(self):
+        out = best_effort_receptions(self._source(), loss=0.5, seed=1)
+        assert all(r.base_intact for r in out)
+
+    def test_loss_rate_statistical(self):
+        out = best_effort_receptions(self._source(n=200, sent=100),
+                                     loss=0.3, seed=2)
+        received = sum(r.received_enhancement_count for r in out)
+        assert received / (200 * 100) == pytest.approx(0.7, abs=0.02)
+
+    def test_deterministic_by_seed(self):
+        a = best_effort_receptions(self._source(), loss=0.2, seed=3)
+        b = best_effort_receptions(self._source(), loss=0.2, seed=3)
+        assert [r.enhancement_received for r in a] == \
+            [r.enhancement_received for r in b]
+
+    def test_zero_loss_delivers_all(self):
+        out = best_effort_receptions(self._source(), loss=0.0, seed=1)
+        assert all(r.useful_enhancement == r.enhancement_sent for r in out)
+
+
+class TestFullDelivery:
+    def test_everything_received(self):
+        src = [FrameReception(frame_id=0, green_sent=21,
+                              enhancement_sent=30)]
+        out = full_delivery(src)
+        assert out[0].base_intact
+        assert out[0].useful_enhancement == 30
+
+    def test_does_not_mutate_input(self):
+        src = [FrameReception(frame_id=0, green_sent=21,
+                              enhancement_sent=30)]
+        full_delivery(src)
+        assert src[0].enhancement_received == set()

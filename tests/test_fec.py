@@ -1,0 +1,133 @@
+"""Tests for the FEC block-erasure model (extension X7)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.fec import (FecConfig, block_failure_probability,
+                             expected_useful_packets_fec, fec_efficiency,
+                             optimal_parity, simulate_fec_frame)
+
+
+class TestFecConfig:
+    def test_derived_quantities(self):
+        config = FecConfig(data_packets=10, parity_packets=4)
+        assert config.block_packets == 14
+        assert config.overhead == pytest.approx(4 / 14)
+        assert config.code_rate == pytest.approx(10 / 14)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FecConfig(0, 2)
+        with pytest.raises(ValueError):
+            FecConfig(10, -1)
+
+
+class TestBlockFailure:
+    def test_no_parity_is_any_loss(self):
+        config = FecConfig(10, 0)
+        # Block fails iff at least one of 10 packets is lost.
+        assert block_failure_probability(config, 0.1) == pytest.approx(
+            1 - 0.9 ** 10)
+
+    def test_zero_loss_never_fails(self):
+        assert block_failure_probability(FecConfig(10, 2), 0.0) == 0.0
+
+    def test_total_loss_always_fails(self):
+        assert block_failure_probability(FecConfig(10, 2), 1.0) == \
+            pytest.approx(1.0)
+
+    def test_exact_binomial_value(self):
+        # n=3 (2+1), p=0.5: fails iff >= 2 losses: C(3,2)/8 + C(3,3)/8.
+        assert block_failure_probability(FecConfig(2, 1), 0.5) == \
+            pytest.approx(0.5)
+
+    @given(parity=st.integers(0, 10), loss=st.floats(0.01, 0.5))
+    @settings(max_examples=100)
+    def test_more_parity_never_hurts(self, parity, loss):
+        weaker = block_failure_probability(FecConfig(10, parity), loss)
+        stronger = block_failure_probability(FecConfig(10, parity + 1), loss)
+        assert stronger <= weaker + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_failure_probability(FecConfig(10, 2), 1.5)
+
+
+class TestExpectedUseful:
+    def test_geometric_form_matches_lemma1_shape(self):
+        """With q = block failure, E[blocks] = (1-q)/q (1-(1-q)^B)."""
+        config = FecConfig(10, 2)
+        q = block_failure_probability(config, 0.1)
+        expected = 10 * (1 - q) / q * (1 - (1 - q) ** 8)
+        assert expected_useful_packets_fec(config, 0.1, 8) == \
+            pytest.approx(expected)
+
+    def test_zero_blocks(self):
+        assert expected_useful_packets_fec(FecConfig(10, 2), 0.1, 0) == 0.0
+
+    def test_perfect_channel(self):
+        assert expected_useful_packets_fec(FecConfig(10, 2), 0.0, 5) == 50.0
+
+    def test_monte_carlo_agreement(self):
+        config = FecConfig(10, 3)
+        rng = random.Random(5)
+        mc = sum(simulate_fec_frame(config, 7, 0.08, rng)
+                 for _ in range(20_000)) / 20_000
+        model = expected_useful_packets_fec(config, 0.08, 7)
+        assert mc == pytest.approx(model, rel=0.03)
+
+    def test_efficiency_charges_overhead(self):
+        config = FecConfig(10, 10)  # 50% overhead
+        eff = fec_efficiency(config, 0.0, 5)
+        assert eff == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            fec_efficiency(config, 0.0, 0)
+
+
+class TestOptimalParity:
+    def test_zero_loss_needs_no_parity(self):
+        assert optimal_parity(10, 0.0).parity_packets == 0
+
+    def test_parity_grows_with_loss(self):
+        low = optimal_parity(10, 0.02).parity_packets
+        high = optimal_parity(10, 0.19).parity_packets
+        assert high > low
+
+    def test_meets_target(self):
+        config = optimal_parity(10, 0.1, target_block_failure=0.01)
+        assert block_failure_probability(config, 0.1) <= 0.01
+        # And the next-smaller code must miss the target (minimality).
+        if config.parity_packets > 0:
+            smaller = FecConfig(10, config.parity_packets - 1)
+            assert block_failure_probability(smaller, 0.1) > 0.01
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            optimal_parity(10, 0.9, target_block_failure=0.001,
+                           max_parity=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_parity(10, 0.1, target_block_failure=0.0)
+
+
+class TestX7Experiment:
+    def test_pels_dominates_at_all_loss_levels(self):
+        from repro.experiments import fec_comparison
+        result = fec_comparison.run(fast=True)
+        for key in ("p2", "p5", "p10", "p19"):
+            assert result.metrics[f"pels_useful_{key}"] > \
+                result.metrics[f"fec_useful_{key}"] > \
+                result.metrics[f"be_useful_{key}"]
+
+    def test_fec_overhead_grows_with_loss(self):
+        from repro.experiments import fec_comparison
+        result = fec_comparison.run(fast=True)
+        assert result.metrics["fec_overhead_p19"] > \
+            result.metrics["fec_overhead_p2"]

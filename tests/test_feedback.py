@@ -1,0 +1,159 @@
+"""Unit tests for router feedback (Eq. 11) and freshness tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feedback import FeedbackTracker, RouterFeedback
+from repro.sim.engine import Simulator
+from repro.sim.packet import Color, FeedbackLabel, Packet
+
+
+def pels_packet(size=500, color=Color.YELLOW):
+    return Packet(flow_id=1, size=size, color=color)
+
+
+class TestRouterFeedback:
+    def test_loss_zero_below_capacity(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1_000_000.0, interval=0.1,
+                            window_intervals=1)
+        # 10 kB in 0.1 s = 800 kb/s < 1 mb/s.
+        for _ in range(20):
+            fb.observe(pels_packet())
+        sim.run(until=0.15)
+        assert fb.loss == 0.0
+        assert fb.epoch == 1
+
+    def test_eq11_loss_above_capacity(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1_000_000.0, interval=0.1,
+                            window_intervals=1)
+        # 25 kB in 0.1 s = 2 mb/s -> p = (2-1)/2 = 0.5.
+        for _ in range(50):
+            fb.observe(pels_packet())
+        sim.run(until=0.15)
+        assert fb.loss == pytest.approx(0.5)
+
+    def test_counter_resets_each_interval(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1_000_000.0, interval=0.1,
+                            window_intervals=1)
+        for _ in range(50):
+            fb.observe(pels_packet())
+        sim.run(until=0.25)  # second interval had no arrivals
+        assert fb.loss == 0.0
+        assert fb.epoch == 2
+
+    def test_windowed_rate_averages(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1_000_000.0, interval=0.1,
+                            window_intervals=2)
+        for _ in range(50):
+            fb.observe(pels_packet())
+        sim.run(until=0.25)
+        # Window = (50 pkts + 0 pkts) / 0.2 s = 1 mb/s -> p = 0.
+        assert fb.loss == pytest.approx(0.0)
+
+    def test_idle_router_publishes_zero(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1e6, interval=0.1)
+        sim.run(until=0.5)
+        assert fb.loss == 0.0
+
+    def test_stamps_pels_packets(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1e6, interval=0.1,
+                            window_intervals=1)
+        for _ in range(50):
+            fb.observe(pels_packet())
+        sim.run(until=0.15)
+        packet = pels_packet()
+        fb.observe(packet)
+        assert packet.feedback is not None
+        assert packet.feedback.epoch == 1
+        assert packet.feedback.loss == pytest.approx(0.5)
+        assert packet.feedback.router_id == fb.router_id
+
+    def test_ignores_acks_and_best_effort(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1e6, interval=0.1)
+        ack = pels_packet()
+        ack.is_ack = True
+        fb.observe(ack)
+        fb.observe(Packet(flow_id=1, size=500, color=Color.BEST_EFFORT))
+        assert fb._byte_counter == 0
+
+    def test_epoch_increments_every_interval(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1e6, interval=0.05)
+        sim.run(until=0.52)
+        assert fb.epoch == 10
+
+    def test_max_loss_override_across_routers(self, sim):
+        light = RouterFeedback(sim, capacity_bps=1e9, interval=0.1,
+                               window_intervals=1)
+        heavy = RouterFeedback(sim, capacity_bps=1e5, interval=0.1,
+                               window_intervals=1)
+        for _ in range(50):
+            light.observe(pels_packet())
+            heavy.observe(pels_packet())
+        sim.run(until=0.15)
+        packet = pels_packet()
+        light.observe(packet)
+        heavy.observe(packet)
+        assert packet.feedback.router_id == heavy.router_id
+        # A later uncongested router must not override.
+        light.observe(packet)
+        assert packet.feedback.router_id == heavy.router_id
+
+    def test_unique_router_ids(self, sim):
+        a = RouterFeedback(sim, capacity_bps=1e6)
+        b = RouterFeedback(sim, capacity_bps=1e6)
+        assert a.router_id != b.router_id
+
+    def test_stop_halts_epochs(self, sim):
+        fb = RouterFeedback(sim, capacity_bps=1e6, interval=0.1)
+        sim.run(until=0.25)
+        fb.stop()
+        sim.run(until=1.0)
+        assert fb.epoch == 2
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            RouterFeedback(sim, capacity_bps=0)
+        with pytest.raises(ValueError):
+            RouterFeedback(sim, capacity_bps=1e6, interval=0)
+        with pytest.raises(ValueError):
+            RouterFeedback(sim, capacity_bps=1e6, window_intervals=0)
+
+
+class TestFeedbackTracker:
+    def test_accepts_first_label(self):
+        tracker = FeedbackTracker()
+        assert tracker.accept(FeedbackLabel(1, 0, 0.1)) == 0.1
+
+    def test_rejects_stale_epoch(self):
+        """Section 5.2: react to each epoch at most once."""
+        tracker = FeedbackTracker()
+        tracker.accept(FeedbackLabel(1, 5, 0.1))
+        assert tracker.accept(FeedbackLabel(1, 5, 0.2)) is None
+        assert tracker.accept(FeedbackLabel(1, 4, 0.3)) is None
+        assert tracker.rejected == 2
+
+    def test_accepts_newer_epoch(self):
+        tracker = FeedbackTracker()
+        tracker.accept(FeedbackLabel(1, 5, 0.1))
+        assert tracker.accept(FeedbackLabel(1, 6, 0.2)) == 0.2
+
+    def test_bottleneck_shift_resets_epoch_clock(self):
+        tracker = FeedbackTracker()
+        tracker.accept(FeedbackLabel(1, 100, 0.1))
+        # New router with a smaller epoch must still be accepted.
+        assert tracker.accept(FeedbackLabel(2, 3, 0.2)) == 0.2
+        assert tracker.epoch == 3
+
+    def test_none_label_ignored(self):
+        tracker = FeedbackTracker()
+        assert tracker.accept(None) is None
+        assert tracker.accepted == 0
+
+    def test_counters(self):
+        tracker = FeedbackTracker()
+        tracker.accept(FeedbackLabel(1, 1, 0.1))
+        tracker.accept(FeedbackLabel(1, 2, 0.1))
+        tracker.accept(FeedbackLabel(1, 2, 0.1))
+        assert tracker.accepted == 2
+        assert tracker.rejected == 1

@@ -1,0 +1,133 @@
+"""Unit + property tests for FGS frame geometry and packet planning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.packet import Color
+from repro.video.fgs import FgsConfig, plan_frame, split_enhancement
+
+
+class TestFgsConfig:
+    def test_paper_geometry(self):
+        cfg = FgsConfig()
+        assert cfg.frame_packets == 126
+        assert cfg.green_packets == 21
+        assert cfg.packet_size == 500
+        assert cfg.frame_bytes == 63_000
+        assert cfg.enhancement_packets == 105
+
+    def test_base_layer_rate_is_128kbps(self):
+        """21 pkts * 4000 bits / 0.65625 s = 128 kb/s (paper Section 6)."""
+        assert FgsConfig().base_layer_bps == pytest.approx(128_000.0)
+
+    def test_max_rate(self):
+        cfg = FgsConfig()
+        assert cfg.max_rate_bps == pytest.approx(126 * 4000 / 0.65625)
+
+    def test_packets_for_rate(self):
+        cfg = FgsConfig()
+        assert cfg.packets_for_rate(0.0) == 0
+        assert cfg.packets_for_rate(-5.0) == 0
+        assert cfg.packets_for_rate(cfg.max_rate_bps) == 126
+        assert cfg.packets_for_rate(1e12) == 126  # capped at R_max
+        assert cfg.packets_for_rate(128_000.0) == 21
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FgsConfig(packet_size=0)
+        with pytest.raises(ValueError):
+            FgsConfig(green_packets=200, frame_packets=100)
+        with pytest.raises(ValueError):
+            FgsConfig(frame_interval=0.0)
+
+
+class TestSplitEnhancement:
+    def test_paper_rule_red_fraction_of_total(self):
+        """red = round(gamma * total): Section 4.3's p_R = p/gamma needs
+        gamma measured against the whole slice."""
+        yellow, red = split_enhancement(80, 100, 0.25)
+        assert red == 25
+        assert yellow == 55
+
+    def test_zero_gamma_all_yellow(self):
+        assert split_enhancement(50, 70, 0.0) == (50, 0)
+
+    def test_nonzero_gamma_guarantees_probe(self):
+        yellow, red = split_enhancement(50, 70, 0.001)
+        assert red == 1
+
+    def test_red_clamped_to_enhancement(self):
+        yellow, red = split_enhancement(10, 100, 0.5)
+        assert red == 10
+        assert yellow == 0
+
+    def test_empty_slice(self):
+        assert split_enhancement(0, 21, 0.5) == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_enhancement(10, 100, 1.5)
+        with pytest.raises(ValueError):
+            split_enhancement(-1, 10, 0.5)
+        with pytest.raises(ValueError):
+            split_enhancement(20, 10, 0.5)
+
+    @given(enh=st.integers(0, 500), total_extra=st.integers(0, 50),
+           gamma=st.floats(0.0, 1.0))
+    def test_partition_property(self, enh, total_extra, gamma):
+        total = enh + total_extra
+        yellow, red = split_enhancement(enh, total, gamma)
+        assert yellow + red == enh
+        assert yellow >= 0 and red >= 0
+
+
+class TestPlanFrame:
+    def test_full_rate_plan_structure(self):
+        cfg = FgsConfig()
+        plans = plan_frame(cfg, cfg.max_rate_bps, gamma=0.2)
+        assert len(plans) == 126
+        colors = [p.color for p in plans]
+        assert colors[:21] == [Color.GREEN] * 21
+        assert colors.count(Color.RED) == round(0.2 * 126)
+        # Red occupies the top of the frame.
+        first_red = colors.index(Color.RED)
+        assert all(c is Color.RED for c in colors[first_red:])
+
+    def test_indices_are_sequential(self):
+        cfg = FgsConfig()
+        plans = plan_frame(cfg, cfg.max_rate_bps, gamma=0.3)
+        assert [p.index_in_frame for p in plans] == list(range(len(plans)))
+
+    def test_low_rate_truncates_within_base(self):
+        cfg = FgsConfig()
+        plans = plan_frame(cfg, 64_000.0, gamma=0.5)
+        assert 0 < len(plans) < 21
+        assert all(p.color is Color.GREEN for p in plans)
+
+    def test_zero_rate_empty_plan(self):
+        assert plan_frame(FgsConfig(), 0.0, 0.5) == []
+
+    def test_yellow_prefix_precedes_red(self):
+        cfg = FgsConfig()
+        plans = plan_frame(cfg, 500_000.0, gamma=0.25)
+        colors = [p.color for p in plans]
+        yellow_span = [i for i, c in enumerate(colors) if c is Color.YELLOW]
+        red_span = [i for i, c in enumerate(colors) if c is Color.RED]
+        assert yellow_span and red_span
+        assert max(yellow_span) < min(red_span)
+
+    @given(rate=st.floats(0, 1e7), gamma=st.floats(0, 1))
+    @settings(max_examples=200)
+    def test_plan_invariants(self, rate, gamma):
+        cfg = FgsConfig()
+        plans = plan_frame(cfg, rate, gamma)
+        assert len(plans) <= cfg.frame_packets
+        greens = sum(1 for p in plans if p.color is Color.GREEN)
+        assert greens == min(len(plans), cfg.green_packets)
+        assert all(p.size == cfg.packet_size for p in plans)
+        # Colors are ordered green -> yellow -> red.
+        order = [p.color for p in plans]
+        assert order == sorted(order)

@@ -1,0 +1,50 @@
+"""Unit tests for the multi-hop equilibrium math (X1 support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.multihop import shifted_equilibrium_rate
+
+
+class TestShiftedEquilibrium:
+    def test_no_interferer_reduces_to_lemma6(self):
+        """With I = C the quadratic's root is C/N + alpha/beta... not
+        quite: I = C means the interferer exactly fills the hop, leaving
+        the flows the fixed point of p = Nr/(Nr + C) vs alpha/(beta r)."""
+        r = shifted_equilibrium_rate(2e6, 2e6, 2, 20e3, 0.5)
+        # Verify it satisfies both fixed-point equations directly.
+        p = 2 * r / (2 * r + 2e6)
+        assert p == pytest.approx(20e3 / (0.5 * r), rel=1e-9)
+
+    def test_root_satisfies_quadratic(self):
+        c, i, n, a, b = 3e6, 3e6, 2, 20e3, 0.5
+        r = shifted_equilibrium_rate(c, i, n, a, b)
+        lhs = b * n * r ** 2 - (a * n - b * (i - c)) * r - a * i
+        assert lhs == pytest.approx(0.0, abs=1e-3)
+
+    def test_known_value_from_x1(self):
+        """The X1 scenario's derived equilibrium: ~266 kb/s."""
+        r = shifted_equilibrium_rate(3e6, 3e6, 2, 20e3, 0.5)
+        assert r == pytest.approx(265.8e3, rel=0.01)
+
+    def test_bigger_interferer_squeezes_flows(self):
+        small = shifted_equilibrium_rate(3e6, 3e6, 2, 20e3, 0.5)
+        large = shifted_equilibrium_rate(3e6, 5e6, 2, 20e3, 0.5)
+        assert large < small
+
+    def test_more_flows_lower_rate(self):
+        two = shifted_equilibrium_rate(3e6, 3e6, 2, 20e3, 0.5)
+        four = shifted_equilibrium_rate(3e6, 3e6, 4, 20e3, 0.5)
+        assert four < two
+
+    def test_consistency_with_loss_fixed_point(self):
+        """At the root, the implied loss equals alpha/(beta r)."""
+        c, i, n, a, b = 3e6, 4e6, 3, 25e3, 0.8
+        r = shifted_equilibrium_rate(c, i, n, a, b)
+        p = (n * r + i - c) / (n * r + i)
+        assert p == pytest.approx(a / (b * r), rel=1e-9)
+
+    def test_rate_positive_for_reasonable_inputs(self):
+        for i in (2e6, 3e6, 6e6):
+            assert shifted_equilibrium_rate(3e6, i, 2, 20e3, 0.5) > 0

@@ -1,0 +1,114 @@
+"""Tests for the playback-deadline model (extension X6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.playback import (DeadlineReport, PlaybackSchedule,
+                                  expected_retransmissions,
+                                  retransmission_recovery_probability)
+
+
+class TestPlaybackSchedule:
+    def test_deadlines_advance_per_frame(self):
+        schedule = PlaybackSchedule(startup_delay=0.2, frame_interval=0.1)
+        assert schedule.deadline(0) == pytest.approx(0.2)
+        assert schedule.deadline(5) == pytest.approx(0.7)
+
+    def test_first_send_offset(self):
+        schedule = PlaybackSchedule(startup_delay=0.2, frame_interval=0.1,
+                                    first_frame_send_time=10.0)
+        assert schedule.deadline(0) == pytest.approx(10.2)
+
+    def test_on_time_boundary_inclusive(self):
+        schedule = PlaybackSchedule(startup_delay=0.2, frame_interval=0.1)
+        assert schedule.on_time(0, 0.2)
+        assert not schedule.on_time(0, 0.2001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlaybackSchedule(startup_delay=-1, frame_interval=0.1)
+        with pytest.raises(ValueError):
+            PlaybackSchedule(startup_delay=0.1, frame_interval=0)
+        schedule = PlaybackSchedule(startup_delay=0.1, frame_interval=0.1)
+        with pytest.raises(ValueError):
+            schedule.deadline(-1)
+
+    @given(startup=st.floats(0, 1), frame=st.integers(0, 100))
+    @settings(max_examples=100)
+    def test_larger_startup_never_hurts(self, startup, frame):
+        tight = PlaybackSchedule(startup_delay=startup, frame_interval=0.1)
+        loose = PlaybackSchedule(startup_delay=startup + 0.5,
+                                 frame_interval=0.1)
+        assert loose.deadline(frame) > tight.deadline(frame)
+
+
+class TestDeadlineReport:
+    def test_from_arrivals(self):
+        schedule = PlaybackSchedule(startup_delay=0.1, frame_interval=0.1)
+        # Deadlines: frame 0 at 0.1, frame 1 at 0.2.
+        report = DeadlineReport.from_arrivals(
+            schedule, [(0, 0.05), (0, 0.15), (1, 0.15), (1, 0.25)])
+        assert report.total == 4
+        assert report.on_time == 2
+        assert report.miss_fraction == pytest.approx(0.5)
+
+    def test_empty_report(self):
+        schedule = PlaybackSchedule(startup_delay=0.1, frame_interval=0.1)
+        report = DeadlineReport.from_arrivals(schedule, [])
+        assert report.miss_fraction == 0.0
+
+
+class TestRetransmissionModel:
+    def test_no_attempts_within_budget(self):
+        assert retransmission_recovery_probability(0.1, rtt=0.4,
+                                                   deadline_budget=0.3) == 0.0
+
+    def test_single_attempt(self):
+        assert retransmission_recovery_probability(
+            0.1, rtt=0.1, deadline_budget=0.15) == pytest.approx(0.9)
+
+    def test_multiple_attempts_compound(self):
+        assert retransmission_recovery_probability(
+            0.5, rtt=0.1, deadline_budget=0.35) == pytest.approx(1 - 0.5**3)
+
+    def test_zero_loss_recovers_immediately(self):
+        assert retransmission_recovery_probability(0.0, 0.1, 0.2) == 1.0
+
+    def test_monotone_in_budget(self):
+        probs = [retransmission_recovery_probability(0.3, 0.1, b / 10)
+                 for b in range(0, 10)]
+        assert probs == sorted(probs)
+
+    def test_expected_retransmissions(self):
+        assert expected_retransmissions(0.0) == 1.0
+        assert expected_retransmissions(0.5) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            retransmission_recovery_probability(1.0, 0.1, 0.2)
+        with pytest.raises(ValueError):
+            retransmission_recovery_probability(0.1, 0.0, 0.2)
+        with pytest.raises(ValueError):
+            retransmission_recovery_probability(0.1, 0.1, -0.1)
+        with pytest.raises(ValueError):
+            expected_retransmissions(1.0)
+
+
+@pytest.mark.slow
+class TestDeadlineExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import deadlines
+        return deadlines.run(fast=True)
+
+    def test_protected_classes_on_time(self, result):
+        for startup in (50, 100, 300):
+            assert result.metrics[f"green_ontime_{startup}ms"] == 1.0
+            assert result.metrics[f"yellow_ontime_{startup}ms"] == 1.0
+
+    def test_arq_fails_at_congested_rtts(self, result):
+        assert result.metrics["retx_rtt400_budget300"] == 0.0
+        assert result.metrics["retx_rtt40_budget300"] > 0.99

@@ -1,0 +1,103 @@
+"""Cross-cutting hypothesis property tests for the simulator substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Color, Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.scheduler import WeightedRoundRobinScheduler
+from repro.sim.stats import TimeSeries
+
+
+class TestEngineProperties:
+    @given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_dispatch_order_is_time_order(self, delays):
+        """Whatever the scheduling order, dispatch is chronological."""
+        sim = Simulator(seed=1)
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(delays)
+        assert sim.events_dispatched == len(delays)
+
+    @given(delays=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=40),
+           cutoff=st.floats(0.0, 10.0))
+    @settings(max_examples=100)
+    def test_run_until_is_a_clean_partition(self, delays, cutoff):
+        """run(until=t) fires exactly the events with time <= t; the
+        rest fire on the next run()."""
+        sim = Simulator(seed=1)
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=cutoff)
+        early = list(fired)
+        assert all(d <= cutoff for d in early)
+        sim.run()
+        assert sorted(fired) == sorted(delays)
+        assert fired[len(early):] == sorted(d for d in delays if d > cutoff)
+
+    @given(delays=st.lists(st.floats(0.0, 10.0), min_size=2, max_size=30),
+           cancel_index=st.integers(0, 29))
+    @settings(max_examples=100)
+    def test_cancellation_removes_exactly_one(self, delays, cancel_index):
+        sim = Simulator(seed=1)
+        fired = []
+        events = [sim.schedule(d, lambda d=d: fired.append(d))
+                  for d in delays]
+        victim = events[cancel_index % len(events)]
+        victim.cancel()
+        sim.run()
+        assert len(fired) == len(delays) - 1
+
+
+class TestWrrShareProperty:
+    @given(weight=st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_long_run_share_tracks_weight(self, weight):
+        """Byte share converges to the configured weight for any split."""
+        children = [DropTailQueue(capacity_packets=100_000)
+                    for _ in range(2)]
+        sched = WeightedRoundRobinScheduler(
+            children, weights=[weight, 1 - weight],
+            classifier=lambda p: 0 if p.color.is_pels else 1,
+            quantum_bytes=1000)
+        for _ in range(3000):
+            sched.enqueue(Packet(flow_id=1, size=500, color=Color.GREEN))
+            sched.enqueue(Packet(flow_id=1, size=500,
+                                 color=Color.BEST_EFFORT))
+        served = [0, 0]
+        for _ in range(2000):
+            packet = sched.dequeue()
+            served[0 if packet.color.is_pels else 1] += packet.size
+        share = served[0] / sum(served)
+        assert share == pytest.approx(weight, abs=0.05)
+
+
+class TestTimeSeriesProperties:
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_full_window_mean_equals_arithmetic_mean(self, values):
+        ts = TimeSeries()
+        for i, v in enumerate(values):
+            ts.record(float(i), v)
+        assert ts.mean(0, len(values)) == pytest.approx(
+            sum(values) / len(values), rel=1e-9, abs=1e-6)
+
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+           split=st.integers(0, 100))
+    @settings(max_examples=100)
+    def test_window_partition_covers_everything(self, values, split):
+        ts = TimeSeries()
+        for i, v in enumerate(values):
+            ts.record(float(i), v)
+        split = split % (len(values) + 1)
+        left = ts.window(0, float(split))
+        right = ts.window(float(split), float(len(values)))
+        assert len(left) + len(right) == len(values)

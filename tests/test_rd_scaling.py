@@ -1,0 +1,113 @@
+"""Tests for R-D constant-quality rate scaling (extension)."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.rd_scaling import (allocate_constant_quality,
+                                    allocate_uniform, psnr_of_allocation)
+from repro.video.traces import generate_foreman_like
+
+CAP = 60_000.0
+
+
+class TestUniform:
+    def test_equal_slices(self):
+        trace = generate_foreman_like(10, seed=1)
+        alloc = allocate_uniform(trace.frames, 100_000.0, CAP)
+        assert all(a == pytest.approx(10_000.0) for a in alloc)
+
+    def test_capped_per_frame(self):
+        trace = generate_foreman_like(4, seed=1)
+        alloc = allocate_uniform(trace.frames, 1e9, CAP)
+        assert all(a == CAP for a in alloc)
+
+    def test_empty(self):
+        assert allocate_uniform([], 100.0, CAP) == []
+
+    def test_negative_budget_rejected(self):
+        trace = generate_foreman_like(2, seed=1)
+        with pytest.raises(ValueError):
+            allocate_uniform(trace.frames, -1.0, CAP)
+
+
+class TestConstantQuality:
+    def test_budget_respected(self):
+        trace = generate_foreman_like(50, seed=2)
+        budget = 500_000.0
+        alloc = allocate_constant_quality(trace.frames, budget, CAP)
+        assert sum(alloc) <= budget * 1.001
+
+    def test_budget_nearly_exhausted(self):
+        """Unless the cap binds, water-filling should spend the budget."""
+        trace = generate_foreman_like(50, seed=2)
+        budget = 500_000.0
+        alloc = allocate_constant_quality(trace.frames, budget, CAP)
+        assert sum(alloc) >= budget * 0.99
+
+    def test_equalizes_quality(self):
+        trace = generate_foreman_like(60, seed=3)
+        budget = 60 * 8_000.0
+        alloc = allocate_constant_quality(trace.frames, budget, CAP)
+        psnr = psnr_of_allocation(trace.frames, alloc)
+        # Frames not pinned at a bound should sit at the same level.
+        interior = [q for q, a in zip(psnr, alloc) if 0 < a < CAP]
+        assert len(interior) > 10
+        assert max(interior) - min(interior) < 0.1
+
+    def test_smoother_than_uniform(self):
+        trace = generate_foreman_like(80, seed=4)
+        budget = 80 * 8_000.0
+        smooth = psnr_of_allocation(
+            trace.frames,
+            allocate_constant_quality(trace.frames, budget, CAP))
+        uniform = psnr_of_allocation(
+            trace.frames, allocate_uniform(trace.frames, budget, CAP))
+        assert statistics.pstdev(smooth) < 0.5 * statistics.pstdev(uniform)
+
+    def test_hard_frames_get_more_bytes(self):
+        """Low-base-PSNR frames need more enhancement to reach Q."""
+        trace = generate_foreman_like(60, seed=5)
+        budget = 60 * 8_000.0
+        alloc = allocate_constant_quality(trace.frames, budget, CAP)
+        interior = [(f.base_psnr_db, a) for f, a in zip(trace.frames, alloc)
+                    if 0 < a < CAP]
+        worst = min(interior)
+        best = max(interior)
+        assert worst[1] > best[1]
+
+    def test_huge_budget_hits_caps(self):
+        trace = generate_foreman_like(5, seed=1)
+        alloc = allocate_constant_quality(trace.frames, 1e12, CAP)
+        assert all(a == pytest.approx(CAP) for a in alloc)
+
+    def test_zero_budget(self):
+        trace = generate_foreman_like(5, seed=1)
+        alloc = allocate_constant_quality(trace.frames, 0.0, CAP)
+        assert all(a == pytest.approx(0.0, abs=1.0) for a in alloc)
+
+    def test_empty_frames(self):
+        assert allocate_constant_quality([], 100.0, CAP) == []
+
+    def test_validation(self):
+        trace = generate_foreman_like(3, seed=1)
+        with pytest.raises(ValueError):
+            allocate_constant_quality(trace.frames, -1.0, CAP)
+        with pytest.raises(ValueError):
+            allocate_constant_quality(trace.frames, 100.0, 0.0)
+        with pytest.raises(ValueError):
+            psnr_of_allocation(trace.frames, [1.0])
+
+    @given(budget=st.floats(0, 3e6), n=st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_allocation_invariants(self, budget, n):
+        trace = generate_foreman_like(n, seed=6)
+        alloc = allocate_constant_quality(trace.frames, budget, CAP)
+        assert len(alloc) == n
+        assert all(0 <= a <= CAP + 1e-6 for a in alloc)
+        assert sum(alloc) <= max(budget, 0) * 1.01 + n * 1e-3 \
+            or all(a == pytest.approx(CAP) for a in alloc)

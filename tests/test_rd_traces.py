@@ -1,0 +1,152 @@
+"""Unit + property tests for the R-D model and synthetic trace generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.video.rd import BitplaneRdCurve, LogRdCurve, default_curve
+from repro.video.traces import generate_foreman_like
+
+
+class TestLogRdCurve:
+    def test_zero_bytes_zero_gain(self):
+        assert default_curve().gain(0) == 0.0
+        assert default_curve().gain(-5) == 0.0
+
+    def test_monotone_increasing(self):
+        curve = default_curve()
+        gains = [curve.gain(b) for b in (0, 100, 1000, 10_000, 100_000)]
+        assert gains == sorted(gains)
+        assert gains[-1] > gains[0]
+
+    @given(a=st.floats(1, 1e6), b=st.floats(1, 1e6))
+    def test_concavity_property(self, a, b):
+        """Diminishing returns: gain(a+b) <= gain(a) + gain(b)."""
+        curve = default_curve()
+        assert curve.gain(a + b) <= curve.gain(a) + curve.gain(b) + 1e-9
+
+    def test_inverse(self):
+        curve = default_curve()
+        for gain in (0.5, 3.0, 10.0):
+            assert curve.gain(curve.bytes_for_gain(gain)) == pytest.approx(gain)
+
+    def test_calibration_anchors(self):
+        """DESIGN.md calibration: ~17.5 dB for a full frame, ~6.8 dB for
+        9 packets (the best-effort p=0.1 operating point)."""
+        curve = default_curve()
+        assert curve.gain(52_500) == pytest.approx(17.5, abs=1.0)
+        assert curve.gain(9 * 500) == pytest.approx(6.8, abs=0.7)
+
+    def test_complexity_reduces_gain(self):
+        easy = default_curve(complexity=1.0)
+        hard = default_curve(complexity=1.5)
+        assert hard.gain(10_000) < easy.gain(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogRdCurve(scale=0)
+        with pytest.raises(ValueError):
+            LogRdCurve(ref_bytes=-1)
+        with pytest.raises(ValueError):
+            LogRdCurve(complexity=0)
+
+
+class TestBitplaneRdCurve:
+    def test_total_gain_is_sum_of_planes(self):
+        curve = BitplaneRdCurve([1000, 2000], [4.0, 2.0])
+        assert curve.total_gain_db == 6.0
+        assert curve.total_bytes == 3000
+        assert curve.gain(3000) == pytest.approx(6.0)
+
+    def test_partial_plane_proportional(self):
+        curve = BitplaneRdCurve([1000], [4.0])
+        assert curve.gain(500) == pytest.approx(2.0)
+
+    def test_gain_beyond_planes_saturates(self):
+        curve = BitplaneRdCurve([1000], [4.0])
+        assert curve.gain(99_999) == pytest.approx(4.0)
+
+    def test_from_log_curve_agrees_at_boundaries(self):
+        log = default_curve()
+        bp = BitplaneRdCurve.from_log_curve(log, n_planes=5,
+                                            first_plane_bytes=1800)
+        cumulative = 0
+        for size in bp.plane_bytes:
+            cumulative += size
+            assert bp.gain(cumulative) == pytest.approx(log.gain(cumulative),
+                                                        rel=1e-9)
+
+    def test_plane_sizes_double(self):
+        bp = BitplaneRdCurve.from_log_curve(default_curve(), n_planes=4)
+        for a, b in zip(bp.plane_bytes, bp.plane_bytes[1:]):
+            assert b == 2 * a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitplaneRdCurve([], [])
+        with pytest.raises(ValueError):
+            BitplaneRdCurve([100], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            BitplaneRdCurve([0], [1.0])
+        with pytest.raises(ValueError):
+            BitplaneRdCurve([100], [-1.0])
+
+
+class TestForemanTrace:
+    def test_deterministic_by_seed(self):
+        a = generate_foreman_like(100, seed=3)
+        b = generate_foreman_like(100, seed=3)
+        assert [f.base_psnr_db for f in a] == [f.base_psnr_db for f in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_foreman_like(100, seed=3)
+        b = generate_foreman_like(100, seed=4)
+        assert [f.base_psnr_db for f in a] != [f.base_psnr_db for f in b]
+
+    def test_length_and_ids(self):
+        trace = generate_foreman_like(50)
+        assert len(trace) == 50
+        assert [f.frame_id for f in trace] == list(range(50))
+
+    def test_gop_structure(self):
+        trace = generate_foreman_like(120, gop_size=12)
+        intras = [f.frame_id for f in trace if f.is_intra]
+        assert intras == list(range(0, 120, 12))
+
+    def test_intra_frames_code_better(self):
+        """I-frames get the +1.5 dB base-quality bump on average."""
+        trace = generate_foreman_like(600, seed=1)
+        intra = [f.base_psnr_db for f in trace if f.is_intra]
+        inter = [f.base_psnr_db for f in trace if not f.is_intra]
+        assert sum(intra) / len(intra) > sum(inter) / len(inter) + 0.5
+
+    def test_mean_base_psnr_near_target(self):
+        trace = generate_foreman_like(600, seed=2, mean_base_psnr=28.0)
+        assert trace.mean_base_psnr == pytest.approx(28.0, abs=1.5)
+
+    def test_pan_segment_harder(self):
+        """The final quarter (camera pan) is lower quality, higher
+        complexity."""
+        trace = generate_foreman_like(400, seed=5)
+        head = [f for f in trace if f.frame_id < 200]
+        tail = [f for f in trace if f.frame_id >= 350]
+        head_c = sum(f.complexity for f in head) / len(head)
+        tail_c = sum(f.complexity for f in tail) / len(tail)
+        assert tail_c > head_c
+
+    def test_complexity_positive(self):
+        trace = generate_foreman_like(500, seed=9)
+        assert all(f.complexity > 0 for f in trace)
+
+    def test_rd_curve_uses_complexity(self):
+        trace = generate_foreman_like(10, seed=1)
+        frame = trace[0]
+        assert frame.rd_curve().complexity == frame.complexity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_foreman_like(0)
+        with pytest.raises(ValueError):
+            generate_foreman_like(10, gop_size=0)

@@ -1,0 +1,106 @@
+"""Robustness tests: ACK loss, live renegotiation, edge-case scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import PelsScenario, PelsSimulation
+from repro.core.sink import PelsSink
+from repro.sim.engine import Simulator
+from repro.sim.node import Host
+
+
+class TestAckLoss:
+    @pytest.mark.slow
+    def test_converges_under_heavy_ack_loss(self):
+        """Epoch freshness makes individual ACK losses irrelevant."""
+        sim = PelsSimulation(PelsScenario(n_flows=2, duration=30.0, seed=3,
+                                          ack_loss_rate=0.5)).run()
+        assert sim.sinks[0].acks_dropped > 100
+        rate = sim.sources[0].rate_series.mean(20, 30)
+        assert rate == pytest.approx(1.04e6, rel=0.07)
+
+    @pytest.mark.slow
+    def test_ack_loss_slows_but_does_not_bias_gamma(self):
+        sim = PelsSimulation(PelsScenario(n_flows=4, duration=40.0, seed=3,
+                                          ack_loss_rate=0.3)).run()
+        gamma = sim.sources[0].gamma_series.mean(25, 40)
+        assert gamma == pytest.approx(0.074 / 0.75, rel=0.25)
+
+    def test_validation(self):
+        sim = Simulator(seed=1)
+        host = Host(sim)
+        with pytest.raises(ValueError):
+            PelsSink(sim, host, flow_id=1, ack_loss_rate=1.0)
+        with pytest.raises(ValueError):
+            PelsSink(sim, host, flow_id=1, ack_loss_rate=-0.1)
+
+
+class TestRenegotiation:
+    @pytest.mark.slow
+    def test_flows_track_share_changes_both_ways(self):
+        sim = PelsSimulation(PelsScenario(n_flows=2, duration=90.0, seed=5))
+        sim.run(until=30.0)
+        sim.reconfigure_pels_share(0.25)
+        sim.run(until=60.0)
+        down = sim.sources[0].rate_series.mean(50, 60)
+        sim.reconfigure_pels_share(0.5)
+        sim.run(until=90.0)
+        up = sim.sources[0].rate_series.mean(80, 90)
+        assert down == pytest.approx(540e3, rel=0.10)
+        assert up == pytest.approx(1.04e6, rel=0.10)
+
+    def test_invalid_share_rejected(self):
+        sim = PelsSimulation(PelsScenario(n_flows=1, duration=1.0))
+        with pytest.raises(ValueError):
+            sim.reconfigure_pels_share(0.0)
+        with pytest.raises(ValueError):
+            sim.reconfigure_pels_share(1.0)
+
+
+class TestEdgeScenarios:
+    def test_single_flow_claims_capacity(self):
+        from repro.video.fgs import FgsConfig
+        scenario = PelsScenario(n_flows=1, duration=25.0, seed=7,
+                                fgs=FgsConfig(frame_packets=384))
+        sim = PelsSimulation(scenario).run()
+        rate = sim.sources[0].rate_series.mean(18, 25)
+        assert rate == pytest.approx(2.04e6, rel=0.05)
+
+    def test_zero_duration_run_is_clean(self):
+        sim = PelsSimulation(PelsScenario(n_flows=1, duration=0.0))
+        sim.run()
+        # Only the t=0 kick-off event may fire; nothing else.
+        assert sim.sources[0].packets_sent <= 1
+        assert sim.sources[0].frames_sent <= 1
+
+    def test_flow_stopping_mid_run_frees_capacity(self):
+        scenario = PelsScenario(n_flows=2, duration=60.0, seed=9)
+        sim = PelsSimulation(scenario)
+        sim.run(until=25.0)
+        sim.sources[1].stop()
+        sim.run(until=60.0)
+        # The survivor expands toward the solo equilibrium (capped at
+        # the coded R_max = 1.56 mb/s).
+        survivor = sim.sources[0].rate_series.mean(50, 60)
+        assert survivor > 1.3e6
+
+    @pytest.mark.slow
+    def test_many_flows_remain_stable(self):
+        """12 flows: base layers consume 77% of the PELS share."""
+        scenario = PelsScenario(n_flows=12, duration=50.0, seed=11)
+        sim = PelsSimulation(scenario).run()
+        rates = [src.rate_series.mean(35, 50) for src in sim.sources]
+        expected = 2e6 / 12 + 40e3
+        assert min(rates) / max(rates) > 0.8
+        assert sum(rates) == pytest.approx(12 * expected, rel=0.1)
+        assert sim.bottleneck_queue.green_queue.stats.drops == 0
+
+    @pytest.mark.slow
+    def test_base_layer_overload_regime(self):
+        """16 base layers exceed the 2 mb/s PELS share: the paper's
+        'no meaningful streaming' regime — green loss appears."""
+        scenario = PelsScenario(n_flows=16, duration=30.0, seed=11)
+        sim = PelsSimulation(scenario).run()
+        assert 16 * 128_000.0 > scenario.pels_capacity_bps()
+        assert sim.bottleneck_queue.green_queue.stats.drops > 0

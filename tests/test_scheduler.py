@@ -1,0 +1,172 @@
+"""Unit tests for strict-priority and WRR schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.packet import Color, Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.scheduler import (StrictPriorityScheduler,
+                                 WeightedRoundRobinScheduler)
+
+
+def pkt(color: Color, size: int = 500) -> Packet:
+    return Packet(flow_id=0, size=size, color=color)
+
+
+def make_priority(buffers=(8, 8, 8)) -> StrictPriorityScheduler:
+    children = [DropTailQueue(capacity_packets=b) for b in buffers]
+    return StrictPriorityScheduler(children, classifier=lambda p: int(p.color))
+
+
+class TestStrictPriority:
+    def test_high_priority_served_first(self):
+        sched = make_priority()
+        sched.enqueue(pkt(Color.RED))
+        sched.enqueue(pkt(Color.GREEN))
+        sched.enqueue(pkt(Color.YELLOW))
+        order = [sched.dequeue().color for _ in range(3)]
+        assert order == [Color.GREEN, Color.YELLOW, Color.RED]
+
+    def test_low_priority_starved_while_high_backlogged(self):
+        """Section 4.1: no red packet passes while yellow/green wait."""
+        sched = make_priority()
+        for _ in range(3):
+            sched.enqueue(pkt(Color.RED))
+        for _ in range(3):
+            sched.enqueue(pkt(Color.GREEN))
+        for _ in range(3):
+            assert sched.dequeue().color is Color.GREEN
+        assert sched.dequeue().color is Color.RED
+
+    def test_fifo_within_priority(self):
+        sched = make_priority()
+        a, b = pkt(Color.YELLOW), pkt(Color.YELLOW)
+        sched.enqueue(a)
+        sched.enqueue(b)
+        assert sched.dequeue() is a
+        assert sched.dequeue() is b
+
+    def test_child_overflow_counts_as_scheduler_drop(self):
+        sched = make_priority(buffers=(1, 1, 1))
+        sched.enqueue(pkt(Color.RED))
+        assert not sched.enqueue(pkt(Color.RED))
+        assert sched.stats.drops == 1
+
+    def test_len_and_bytes_aggregate_children(self):
+        sched = make_priority()
+        sched.enqueue(pkt(Color.GREEN, 100))
+        sched.enqueue(pkt(Color.RED, 200))
+        assert len(sched) == 2
+        assert sched.byte_count == 300
+
+    def test_peek_returns_highest_priority_head(self):
+        sched = make_priority()
+        sched.enqueue(pkt(Color.RED))
+        sched.enqueue(pkt(Color.YELLOW))
+        assert sched.peek().color is Color.YELLOW
+
+    def test_invalid_classifier_index(self):
+        sched = StrictPriorityScheduler([DropTailQueue(4)],
+                                        classifier=lambda p: 5)
+        with pytest.raises(ValueError):
+            sched.enqueue(pkt(Color.GREEN))
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            StrictPriorityScheduler([], classifier=lambda p: 0)
+
+    def test_dequeue_empty_returns_none(self):
+        assert make_priority().dequeue() is None
+
+
+def make_wrr(weights=(0.5, 0.5), quantum=1000):
+    children = [DropTailQueue(capacity_packets=10_000) for _ in weights]
+    sched = WeightedRoundRobinScheduler(
+        children, weights=list(weights),
+        classifier=lambda p: 0 if p.color.is_pels else 1,
+        quantum_bytes=quantum)
+    return sched, children
+
+
+class TestWrr:
+    def _drain_bytes(self, sched, n_dequeues):
+        by_class = [0, 0]
+        for _ in range(n_dequeues):
+            packet = sched.dequeue()
+            if packet is None:
+                break
+            by_class[0 if packet.color.is_pels else 1] += packet.size
+        return by_class
+
+    def test_equal_weights_split_evenly(self):
+        sched, _ = make_wrr()
+        for _ in range(200):
+            sched.enqueue(pkt(Color.GREEN))
+            sched.enqueue(pkt(Color.BEST_EFFORT))
+        a, b = self._drain_bytes(sched, 200)
+        assert abs(a - b) / (a + b) < 0.05
+
+    def test_weighted_split(self):
+        sched, _ = make_wrr(weights=(0.75, 0.25))
+        for _ in range(400):
+            sched.enqueue(pkt(Color.GREEN))
+            sched.enqueue(pkt(Color.BEST_EFFORT))
+        a, b = self._drain_bytes(sched, 400)
+        share = a / (a + b)
+        assert 0.70 <= share <= 0.80
+
+    def test_work_conserving_when_one_class_idle(self):
+        """An idle class's share goes to the backlogged one."""
+        sched, _ = make_wrr()
+        for _ in range(10):
+            sched.enqueue(pkt(Color.GREEN))
+        drained = [sched.dequeue() for _ in range(10)]
+        assert all(p is not None for p in drained)
+
+    def test_idle_child_forfeits_deficit(self):
+        sched, _ = make_wrr()
+        for _ in range(20):
+            sched.enqueue(pkt(Color.GREEN))
+        for _ in range(20):
+            sched.dequeue()
+        # Class 1 was idle throughout; now both get traffic and the
+        # split must still be fair (no hoarded deficit).
+        for _ in range(100):
+            sched.enqueue(pkt(Color.GREEN))
+            sched.enqueue(pkt(Color.BEST_EFFORT))
+        a, b = self._drain_bytes(sched, 100)
+        assert abs(a - b) / (a + b) < 0.1
+
+    def test_variable_packet_sizes_fair_by_bytes(self):
+        """DRR fairness is in bytes, not packets."""
+        sched, _ = make_wrr()
+        for _ in range(300):
+            sched.enqueue(pkt(Color.GREEN, size=250))
+            sched.enqueue(pkt(Color.BEST_EFFORT, size=1000))
+        a, b = self._drain_bytes(sched, 300)
+        assert abs(a - b) / (a + b) < 0.1
+
+    def test_large_packet_eventually_served(self):
+        """A packet bigger than one quantum accumulates deficit."""
+        sched, _ = make_wrr(quantum=100)
+        sched.enqueue(pkt(Color.GREEN, size=1500))
+        sched.enqueue(pkt(Color.BEST_EFFORT, size=50))
+        got = {sched.dequeue().size for _ in range(2)}
+        assert got == {1500, 50}
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            make_wrr(weights=(0.5, -0.5))
+        with pytest.raises(ValueError):
+            WeightedRoundRobinScheduler(
+                [DropTailQueue(4)], weights=[1, 2], classifier=lambda p: 0)
+
+    def test_dequeue_empty_returns_none(self):
+        sched, _ = make_wrr()
+        assert sched.dequeue() is None
+
+    def test_peek_finds_any_backlogged_child(self):
+        sched, _ = make_wrr()
+        sched.enqueue(pkt(Color.BEST_EFFORT))
+        assert sched.peek() is not None

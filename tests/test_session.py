@@ -1,0 +1,166 @@
+"""Integration tests: the fully wired PELS simulation.
+
+These exercise the Fig. 6 bar-bell end to end and assert the paper's
+steady-state claims (Lemmas 4/6 and the Section 6 observations) hold in
+closed loop.  The heavier converged runs are shared session fixtures.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.cc.mkc import mkc_equilibrium_loss, mkc_stationary_rate
+from repro.core.colors import AllGreenMarkingPolicy
+from repro.core.session import PelsScenario, PelsSimulation
+from repro.sim.packet import Color
+
+
+class TestEquilibrium:
+    def test_rates_converge_to_lemma6(self, converged_two_flow):
+        sim = converged_two_flow
+        s = sim.scenario
+        expected = mkc_stationary_rate(s.pels_capacity_bps(), 2,
+                                       s.alpha_bps, s.beta)
+        for source in sim.sources:
+            assert source.rate_series.mean(25, 40) == pytest.approx(
+                expected, rel=0.05)
+
+    def test_virtual_loss_matches_equilibrium(self, converged_four_flow):
+        sim = converged_four_flow
+        s = sim.scenario
+        expected = mkc_equilibrium_loss(s.pels_capacity_bps(), 4,
+                                        s.alpha_bps, s.beta)
+        assert sim.mean_virtual_loss(30) == pytest.approx(expected, rel=0.10)
+
+    def test_gamma_tracks_fixed_point(self, converged_four_flow):
+        sim = converged_four_flow
+        s = sim.scenario
+        p_star = mkc_equilibrium_loss(s.pels_capacity_bps(), 4,
+                                      s.alpha_bps, s.beta)
+        gamma = sim.sources[0].gamma_series.mean(30, 60)
+        assert gamma == pytest.approx(p_star / s.p_thr, rel=0.15)
+
+    def test_red_loss_converges_to_pthr(self, converged_four_flow):
+        sim = converged_four_flow
+        tail = [v for t, v in sim.red_loss_series() if t > 30]
+        assert statistics.mean(tail) == pytest.approx(0.75, abs=0.08)
+
+    def test_flows_share_fairly(self, converged_four_flow):
+        rates = [src.rate_series.mean(40, 60)
+                 for src in converged_four_flow.sources]
+        assert min(rates) / max(rates) > 0.9
+
+
+class TestProtection:
+    def test_yellow_and_green_lossless(self, converged_four_flow):
+        q = converged_four_flow.bottleneck_queue
+        assert q.green_queue.stats.drops == 0
+        assert q.yellow_queue.stats.drops == 0
+
+    def test_all_physical_loss_in_red(self, converged_four_flow):
+        q = converged_four_flow.bottleneck_queue
+        assert q.red_queue.stats.drops > 0
+
+    def test_delay_ordering(self, converged_four_flow):
+        """Green < yellow << red one-way delays (Figs. 8-9)."""
+        sink = converged_four_flow.sinks[0]
+        green = sink.delay_probes[Color.GREEN].mean
+        yellow = sink.delay_probes[Color.YELLOW].mean
+        red = sink.delay_probes[Color.RED].mean
+        assert green < yellow < red
+        assert red > 4 * yellow
+
+    def test_base_layer_delivered_intact(self, converged_four_flow):
+        receptions = converged_four_flow.frame_receptions(0)
+        settled = receptions[10:]
+        assert settled
+        assert all(r.base_intact for r in settled)
+
+    def test_high_utility(self, converged_four_flow):
+        """Eq. 6: utility stays near 1 for converged PELS."""
+        receptions = converged_four_flow.frame_receptions(0)[20:]
+        utilities = [r.utility() for r in receptions if r.enhancement_sent]
+        assert statistics.mean(utilities) > 0.9
+
+
+class TestScenarioOptions:
+    def test_without_cross_traffic_pels_gets_whole_link(self):
+        scenario = PelsScenario(n_flows=2, duration=20.0, seed=5,
+                                cross_traffic="none")
+        sim = PelsSimulation(scenario).run()
+        # Feedback capacity is still 2 mb/s, but WRR is work-conserving:
+        # physical drops are rare because the real service is 4 mb/s.
+        assert sim.bottleneck_queue.red_queue.stats.drops == 0
+
+    def test_tcp_cross_traffic_variant_runs(self):
+        scenario = PelsScenario(n_flows=2, duration=10.0, seed=5,
+                                cross_traffic="tcp", tcp_flows=2)
+        sim = PelsSimulation(scenario).run()
+        assert sim.tcp_sources
+        assert all(ts.packets_sent > 0 for ts in sim.tcp_sources)
+        assert sim.sources[0].packets_sent > 0
+
+    def test_invalid_cross_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            PelsSimulation(PelsScenario(cross_traffic="bogus"))
+
+    def test_start_times_length_validated(self):
+        with pytest.raises(ValueError):
+            PelsSimulation(PelsScenario(n_flows=3, start_times=[0.0]))
+
+    def test_needs_a_flow(self):
+        with pytest.raises(ValueError):
+            PelsSimulation(PelsScenario(n_flows=0))
+
+    def test_staggered_starts_helper(self):
+        scenario = PelsScenario(n_flows=6).with_staggered_starts(
+            batch=2, spacing=50.0)
+        assert scenario.start_times == [0.0, 0.0, 50.0, 50.0, 100.0, 100.0]
+
+    def test_frame_phases_decorrelated(self):
+        scenario = PelsScenario(n_flows=4)
+        phases = {round(scenario.frame_phase_of(f), 6) for f in range(4)}
+        assert len(phases) == 4
+
+    def test_controller_rate_clamped_to_rmax(self):
+        scenario = PelsScenario(n_flows=1, duration=5.0, seed=3,
+                                cross_traffic="none")
+        sim = PelsSimulation(scenario).run()
+        assert sim.sources[0].controller.max_rate_bps <= \
+            scenario.fgs.max_rate_bps
+
+    def test_determinism_same_seed(self):
+        def run_once():
+            sim = PelsSimulation(PelsScenario(n_flows=2, duration=8.0,
+                                              seed=77)).run()
+            return (sim.sources[0].packets_sent,
+                    sim.sources[0].rate_bps,
+                    sim.bottleneck_queue.red_queue.stats.drops)
+
+        assert run_once() == run_once()
+
+    def test_alternative_controller_scenario(self):
+        scenario = PelsScenario(n_flows=2, duration=10.0, seed=3,
+                                controller_name="aimd")
+        sim = PelsSimulation(scenario).run()
+        assert sim.sources[0].packets_sent > 0
+
+
+class TestMisbehavingSource:
+    def test_all_green_cheater_damages_own_base_layer(self):
+        """Section 4.1's incentive argument: a source marking everything
+        green overloads the green queue and loses base-layer packets."""
+        scenario = PelsScenario(
+            n_flows=4, duration=40.0, seed=13,
+            marking_policy_factory=AllGreenMarkingPolicy)
+        sim = PelsSimulation(scenario).run()
+        assert sim.bottleneck_queue.green_queue.stats.drops > 0
+        receptions = sim.frame_receptions(0)[10:]
+        damaged = sum(1 for r in receptions if not r.base_intact)
+        assert damaged > len(receptions) * 0.2
+
+    def test_compliant_sources_keep_base_intact(self, converged_four_flow):
+        receptions = converged_four_flow.frame_receptions(1)[10:]
+        assert all(r.base_intact for r in receptions)

@@ -1,0 +1,199 @@
+"""Unit tests for PELS sources, sinks and marking policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.mkc import MkcController
+from repro.core.colors import (AllGreenMarkingPolicy, NoRedMarkingPolicy,
+                               PelsMarkingPolicy)
+from repro.core.gamma import GammaController
+from repro.core.sink import PelsSink
+from repro.core.source import PelsSource
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host
+from repro.sim.packet import Color, FeedbackLabel, Packet
+from repro.sim.queues import DropTailQueue
+from repro.video.fgs import FgsConfig
+
+
+def wired_source(sim, rate_bps=512_000.0, gamma0=0.2, fgs=None,
+                 policy_cls=None, **source_kwargs):
+    a, b = Host(sim, "a"), Host(sim, "b")
+    link = Link(sim, a, b, 10_000_000.0, 0.001,
+                queue=DropTailQueue(capacity_packets=10_000))
+    a.default_route = link
+    fgs = fgs or FgsConfig()
+    controller = MkcController(initial_rate_bps=rate_bps, feedback_delay=0.0,
+                               max_rate_bps=fgs.max_rate_bps)
+    gamma = GammaController(gamma0=gamma0)
+    policy = policy_cls(fgs) if policy_cls else None
+    source = PelsSource(sim, a, b, flow_id=1, controller=controller,
+                        gamma_controller=gamma, fgs_config=fgs,
+                        marking_policy=policy, **source_kwargs)
+    sink = PelsSink(sim, b, flow_id=1, source=source, ack_delay=0.001)
+    return source, sink
+
+
+class TestSourceTransmission:
+    def test_frame_packet_budget_matches_rate(self, sim):
+        source, sink = wired_source(sim, rate_bps=512_000.0)
+        sim.run(until=0.66)  # one full frame
+        expected = FgsConfig().packets_for_rate(512_000.0)
+        assert source.frame_log[0][0] + source.frame_log[0][1] + \
+            source.frame_log[0][2] == expected
+
+    def test_marking_split_counts(self, sim):
+        source, sink = wired_source(sim, rate_bps=512_000.0, gamma0=0.2)
+        sim.run(until=0.66)
+        green, yellow, red = source.frame_log[0]
+        total = green + yellow + red
+        assert green == 21
+        assert red == round(0.2 * total)
+
+    def test_packets_paced_not_burst(self, sim):
+        source, sink = wired_source(sim, rate_bps=512_000.0)
+        times = [t for t, _ in
+                 ((p, None) for p in [])]  # placeholder replaced below
+        arrivals = []
+        original = sink.receive
+
+        def spy(packet):
+            arrivals.append(sim.now)
+            original(packet)
+
+        sink.receive = spy
+        sink.host._agents[1] = sink  # re-attach spy target
+        sink.host.attach_agent(sink, 1)
+        sim.run(until=0.66)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        # Uniform pacing: no gap should exceed a few packet times.
+        assert max(gaps) < 0.05
+
+    def test_sequence_numbers_increase(self, sim):
+        source, sink = wired_source(sim)
+        sim.run(until=1.5)
+        assert source.next_seq == source.packets_sent
+
+    def test_stop_time_halts_flow(self, sim):
+        source, sink = wired_source(sim, stop_time=1.0)
+        sim.run(until=3.0)
+        sent_at_1s = source.packets_sent
+        sim.run(until=5.0)
+        assert source.packets_sent == sent_at_1s
+
+    def test_start_time_delays_first_frame(self, sim):
+        source, sink = wired_source(sim, start_time=1.0)
+        sim.run(until=0.9)
+        assert source.packets_sent == 0
+        sim.run(until=2.0)
+        assert source.packets_sent > 0
+
+    def test_frame_log_finalized_per_frame(self, sim):
+        source, sink = wired_source(sim)
+        sim.run(until=2.0)
+        assert len(source.frame_log) >= 2
+        for counts in source.frame_log.values():
+            assert all(c >= 0 for c in counts)
+
+    def test_rate_drop_truncates_red_tail(self, sim):
+        """A mid-frame rate collapse must cut the plan's (red) tail."""
+        fgs = FgsConfig()
+        source, sink = wired_source(sim, rate_bps=fgs.max_rate_bps,
+                                    gamma0=0.3, fgs=fgs)
+        # Crash the rate shortly after the frame starts.
+        sim.schedule(0.05, lambda: setattr(source.controller, "rate_bps",
+                                           16_000.0))
+        sim.run(until=0.66)
+        green, yellow, red = source.frame_log[0]
+        planned_total = fgs.frame_packets
+        assert green + yellow + red < planned_total
+        assert red < round(0.3 * planned_total)
+
+
+class TestSourceFeedback:
+    def test_fresh_feedback_updates_rate_and_gamma(self, sim):
+        source, sink = wired_source(sim, gamma0=0.5)
+        ack = Packet(flow_id=1, size=40, is_ack=True,
+                     feedback=FeedbackLabel(1, 1, 0.2))
+        r0, g0 = source.rate_bps, source.gamma
+        source.receive(ack)
+        assert source.rate_bps != r0
+        assert source.gamma != g0
+
+    def test_stale_feedback_ignored(self, sim):
+        source, sink = wired_source(sim)
+        source.receive(Packet(flow_id=1, size=40, is_ack=True,
+                              feedback=FeedbackLabel(1, 5, 0.2)))
+        rate_after_first = source.rate_bps
+        source.receive(Packet(flow_id=1, size=40, is_ack=True,
+                              feedback=FeedbackLabel(1, 5, 0.9)))
+        assert source.rate_bps == rate_after_first
+
+    def test_non_ack_ignored(self, sim):
+        source, sink = wired_source(sim)
+        r0 = source.rate_bps
+        source.receive(Packet(flow_id=1, size=500,
+                              feedback=FeedbackLabel(1, 1, 0.5)))
+        assert source.rate_bps == r0
+
+
+class TestSink:
+    def test_frame_accounting(self, sim):
+        source, sink = wired_source(sim, rate_bps=512_000.0)
+        sim.run(until=1.4)  # two full frames
+        reception = sink.frames[0]
+        green, yellow, red = source.frame_log[0]
+        assert reception.green_received == green
+        assert len(reception.enhancement_received) == yellow + red
+
+    def test_enhancement_indices_relative_to_green(self, sim):
+        source, sink = wired_source(sim, rate_bps=512_000.0)
+        sim.run(until=0.7)
+        reception = sink.frames[0]
+        assert 0 in reception.enhancement_received
+
+    def test_delay_probes_by_color(self, sim):
+        source, sink = wired_source(sim, rate_bps=512_000.0)
+        sim.run(until=0.7)
+        assert sink.delay_probes[Color.GREEN].count > 0
+        assert sink.delay_probes[Color.YELLOW].count > 0
+
+    def test_acks_drive_source_updates(self, sim):
+        """End-to-end: ACK path delivers feedback stamped on data."""
+        source, sink = wired_source(sim, rate_bps=512_000.0)
+        # Manually stamp outgoing packets via a link hook.
+        link = source.host.default_route
+
+        def stamp(packet, _link):
+            if not packet.is_ack:
+                packet.stamp_feedback(FeedbackLabel(7, int(sim.now * 100), 0.1))
+
+        link.on_transmit = stamp
+        sim.run(until=1.0)
+        assert source.tracker.accepted > 0
+
+    def test_bytes_received(self, sim):
+        source, sink = wired_source(sim, rate_bps=512_000.0)
+        sim.run(until=1.4)
+        assert sink.bytes_received == sink.packets_received * 500
+
+
+class TestMarkingPolicies:
+    def test_all_green_policy_marks_everything_green(self):
+        policy = AllGreenMarkingPolicy(FgsConfig())
+        plans = policy.plan(512_000.0, 0.3)
+        assert all(p.color is Color.GREEN for p in plans)
+        assert len(plans) == FgsConfig().packets_for_rate(512_000.0)
+
+    def test_no_red_policy_never_probes(self):
+        policy = NoRedMarkingPolicy(FgsConfig())
+        plans = policy.plan(512_000.0, 0.9)  # gamma ignored
+        assert not any(p.color is Color.RED for p in plans)
+
+    def test_pels_policy_matches_plan_frame(self):
+        from repro.video.fgs import plan_frame
+        cfg = FgsConfig()
+        assert PelsMarkingPolicy(cfg).plan(512_000.0, 0.2) == \
+            plan_frame(cfg, 512_000.0, 0.2)

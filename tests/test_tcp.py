@@ -1,0 +1,74 @@
+"""Unit tests for the Reno-like TCP cross-traffic source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.tcp import TcpSink, TcpSource
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host
+from repro.sim.queues import DropTailQueue
+
+
+def tcp_pair(sim, rate=1_000_000.0, queue_packets=64, **source_kwargs):
+    a, b = Host(sim, "a"), Host(sim, "b")
+    link = Link(sim, a, b, rate, 0.01,
+                queue=DropTailQueue(capacity_packets=queue_packets))
+    a.default_route = link
+    source = TcpSource(sim, a, b, flow_id=1, **source_kwargs)
+    sink = TcpSink(sim, b, flow_id=1, source=source, ack_delay=0.01)
+    return source, sink, link
+
+
+class TestTcpSource:
+    def test_slow_start_doubles_window(self, sim):
+        source, sink, _ = tcp_pair(sim, initial_cwnd=2.0, ssthresh=64.0)
+        sim.run(until=0.5)
+        # Each ACK adds 1 during slow start; cwnd should have grown fast.
+        assert source.cwnd > 8
+
+    def test_delivers_in_order_stream(self, sim):
+        source, sink, _ = tcp_pair(sim)
+        sim.run(until=2.0)
+        assert sink.next_expected > 50
+        assert sink.received >= sink.next_expected
+
+    def test_loss_triggers_backoff(self, sim):
+        # Tiny queue at a slow link forces drops.
+        source, sink, link = tcp_pair(sim, rate=200_000.0, queue_packets=4)
+        sim.run(until=5.0)
+        assert source.retransmits + source.timeouts > 0
+        assert source.ssthresh < 64.0
+
+    def test_throughput_bounded_by_link(self, sim):
+        source, sink, link = tcp_pair(sim, rate=500_000.0, queue_packets=16)
+        sim.run(until=10.0)
+        goodput = sink.next_expected * source.packet_size * 8 / 10.0
+        assert goodput <= 500_000.0 * 1.05
+        assert goodput >= 200_000.0  # keeps the pipe reasonably busy
+
+    def test_recovery_resumes_growth(self, sim):
+        source, sink, link = tcp_pair(sim, rate=200_000.0, queue_packets=4)
+        sim.run(until=3.0)
+        cwnd_after_loss = source.cwnd
+        sim.run(until=3.5)
+        assert source.cwnd >= 1.0  # still operating
+
+
+class TestTcpSink:
+    def test_cumulative_ack_tracks_gaps(self, sim):
+        a, b = Host(sim, "a"), Host(sim, "b")
+        sink = TcpSink(sim, b, flow_id=1)
+        from repro.sim.packet import Packet
+        for seq in (0, 2, 1):
+            sink.receive(Packet(flow_id=1, size=100, seq=seq))
+        assert sink.next_expected == 3
+
+    def test_out_of_order_buffered(self, sim):
+        a, b = Host(sim, "a"), Host(sim, "b")
+        sink = TcpSink(sim, b, flow_id=1)
+        from repro.sim.packet import Packet
+        sink.receive(Packet(flow_id=1, size=100, seq=5))
+        assert sink.next_expected == 0
+        assert 5 in sink.out_of_order

@@ -1,0 +1,101 @@
+"""Unit tests for the bar-bell topology builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.topology import BarbellConfig, build_barbell
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+class TestBarbellConfig:
+    def test_defaults_match_fig6(self):
+        cfg = BarbellConfig()
+        assert cfg.bottleneck_bps == 4_000_000.0
+        assert cfg.access_bps == 10_000_000.0
+
+    def test_rtt(self):
+        cfg = BarbellConfig(access_delay=0.005, bottleneck_delay=0.010)
+        assert cfg.rtt() == pytest.approx(0.040)
+
+    def test_rtt_with_extra_delay(self):
+        cfg = BarbellConfig(access_delay=0.005, bottleneck_delay=0.010,
+                            extra_access_delay={1: 0.020})
+        assert cfg.rtt(0) == pytest.approx(0.040)
+        assert cfg.rtt(1) == pytest.approx(0.080)
+
+
+class TestBuildBarbell:
+    def test_structure(self, sim):
+        barbell = build_barbell(sim, BarbellConfig(n_flows=3))
+        assert len(barbell.sources) == 3
+        assert len(barbell.sinks) == 3
+        assert len(barbell.access_links) == 6
+        assert barbell.bottleneck.rate_bps == 4_000_000.0
+
+    def test_requires_flow(self, sim):
+        with pytest.raises(ValueError):
+            build_barbell(sim, BarbellConfig(n_flows=0))
+
+    def test_end_to_end_delivery(self, sim):
+        barbell = build_barbell(sim, BarbellConfig(n_flows=2))
+        src, dst = barbell.source_sink_pair(1)
+        agent = Collector()
+        dst.attach_agent(agent)
+        src.send(Packet(flow_id=1, size=500, dst=dst.node_id))
+        sim.run()
+        assert len(agent.packets) == 1
+        assert agent.packets[0].hops == 3  # src->left, left->right, right->sink
+
+    def test_end_to_end_latency(self, sim):
+        cfg = BarbellConfig(n_flows=1, access_delay=0.005,
+                            bottleneck_delay=0.010)
+        barbell = build_barbell(sim, cfg)
+        src, dst = barbell.source_sink_pair(0)
+        times = []
+
+        class Timestamper:
+            def receive(self, packet):
+                times.append(sim.now)
+
+        dst.attach_agent(Timestamper())
+        src.send(Packet(flow_id=0, size=500, dst=dst.node_id))
+        sim.run()
+        # 20 ms propagation + serialization on three links
+        # (0.4 ms at 10 mb/s twice + 1 ms at 4 mb/s).
+        assert times[0] == pytest.approx(0.020 + 0.0004 * 2 + 0.001)
+
+    def test_custom_bottleneck_queue_installed(self, sim):
+        from repro.sim.queues import DropTailQueue
+        marker = DropTailQueue(capacity_packets=5, name="custom")
+        barbell = build_barbell(sim, BarbellConfig(n_flows=1),
+                                bottleneck_queue=lambda: marker)
+        assert barbell.bottleneck.queue is marker
+
+    def test_flows_isolated_to_their_sinks(self, sim):
+        barbell = build_barbell(sim, BarbellConfig(n_flows=2))
+        agents = []
+        for flow in range(2):
+            agent = Collector()
+            barbell.sinks[flow].attach_agent(agent)
+            agents.append(agent)
+        src0, dst0 = barbell.source_sink_pair(0)
+        src0.send(Packet(flow_id=0, size=100, dst=dst0.node_id))
+        sim.run()
+        assert len(agents[0].packets) == 1
+        assert len(agents[1].packets) == 0
+
+    def test_heterogeneous_access_delay_applied(self, sim):
+        cfg = BarbellConfig(n_flows=2, extra_access_delay={1: 0.1})
+        barbell = build_barbell(sim, cfg)
+        slow_up = barbell.access_links[2]  # flow 1 uplink
+        assert slow_up.delay == pytest.approx(0.105)

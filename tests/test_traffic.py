@@ -1,0 +1,94 @@
+"""Unit tests for CBR/Poisson traffic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host
+from repro.sim.queues import DropTailQueue
+from repro.sim.traffic import CbrSource, PoissonSource
+
+
+def wired_pair(sim, rate=10_000_000.0):
+    a, b = Host(sim, "a"), Host(sim, "b")
+    link = Link(sim, a, b, rate, 0.001,
+                queue=DropTailQueue(capacity_packets=10_000))
+    a.default_route = link
+    received = []
+
+    class Counter:
+        def receive(self, packet):
+            received.append((sim.now, packet.size))
+
+    b.attach_agent(Counter())
+    return a, b, received
+
+
+class TestCbr:
+    def test_rate_is_accurate(self, sim):
+        a, b, received = wired_pair(sim)
+        CbrSource(sim, a, b, flow_id=1, rate_bps=800_000.0, packet_size=1000)
+        sim.run(until=10.0)
+        delivered_bps = sum(size for _, size in received) * 8 / 10.0
+        assert delivered_bps == pytest.approx(800_000.0, rel=0.02)
+
+    def test_evenly_spaced(self, sim):
+        a, b, received = wired_pair(sim)
+        CbrSource(sim, a, b, flow_id=1, rate_bps=80_000.0, packet_size=1000)
+        sim.run(until=1.0)
+        times = [t for t, _ in received]
+        gaps = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+
+    def test_stop_time(self, sim):
+        a, b, received = wired_pair(sim)
+        CbrSource(sim, a, b, flow_id=1, rate_bps=80_000.0, packet_size=1000,
+                  stop_time=0.55)
+        sim.run(until=2.0)
+        assert len(received) == 6  # t = 0, .1, .2, .3, .4, .5
+
+    def test_start_time(self, sim):
+        a, b, received = wired_pair(sim)
+        CbrSource(sim, a, b, flow_id=1, rate_bps=80_000.0, packet_size=1000,
+                  start_time=1.0)
+        sim.run(until=1.5)
+        assert all(t >= 1.0 for t, _ in received)
+
+    def test_parameter_validation(self, sim):
+        a, b, _ = wired_pair(sim)
+        with pytest.raises(ValueError):
+            CbrSource(sim, a, b, flow_id=1, rate_bps=0.0)
+        with pytest.raises(ValueError):
+            CbrSource(sim, a, b, flow_id=1, rate_bps=1e5, packet_size=0)
+
+
+class TestPoisson:
+    def test_mean_rate(self, sim):
+        a, b, received = wired_pair(sim)
+        PoissonSource(sim, a, b, flow_id=1, rate_bps=800_000.0,
+                      packet_size=1000)
+        sim.run(until=30.0)
+        delivered_bps = sum(size for _, size in received) * 8 / 30.0
+        assert delivered_bps == pytest.approx(800_000.0, rel=0.10)
+
+    def test_gaps_are_variable(self, sim):
+        a, b, received = wired_pair(sim)
+        PoissonSource(sim, a, b, flow_id=1, rate_bps=800_000.0,
+                      packet_size=1000)
+        sim.run(until=2.0)
+        times = [t for t, _ in received]
+        gaps = {round(t2 - t1, 6) for t1, t2 in zip(times, times[1:])}
+        assert len(gaps) > 10  # exponential gaps, not a constant
+
+    def test_deterministic_given_seed(self):
+        def trace(seed):
+            sim = Simulator(seed=seed)
+            a, b, received = wired_pair(sim)
+            PoissonSource(sim, a, b, flow_id=1, rate_bps=400_000.0)
+            sim.run(until=1.0)
+            return [t for t, _ in received]
+
+        assert trace(5) == trace(5)
+        assert trace(5) != trace(6)

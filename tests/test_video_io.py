@@ -1,0 +1,85 @@
+"""Tests for trace persistence and PMF extraction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.best_effort import expected_useful_packets_pmf
+from repro.video.io import (frame_size_pmf, load_trace, save_trace,
+                            trace_summary)
+from repro.video.traces import generate_foreman_like
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        trace = generate_foreman_like(40, seed=3)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == 40
+        for a, b in zip(trace.frames, loaded.frames):
+            assert a == b
+
+    def test_format_marker_required(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"frames": []}))
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+    def test_dense_ids_enforced(self, tmp_path):
+        path = tmp_path / "gap.json"
+        path.write_text(json.dumps({
+            "format": "repro.video.trace/v1",
+            "frames": [{"id": 5, "base_psnr_db": 28.0, "complexity": 1.0,
+                        "intra": True}]}))
+        with pytest.raises(ValueError, match="dense"):
+            load_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"format": "repro.video.trace/v1",
+                                    "frames": []}))
+        with pytest.raises(ValueError, match="no frames"):
+            load_trace(path)
+
+    def test_bad_complexity_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": "repro.video.trace/v1",
+            "frames": [{"id": 0, "base_psnr_db": 28.0, "complexity": 0.0,
+                        "intra": True}]}))
+        with pytest.raises(ValueError, match="complexity"):
+            load_trace(path)
+
+
+class TestFrameSizePmf:
+    def test_mass_sums_to_one(self):
+        pmf = frame_size_pmf([10, 10, 20, 30])
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        assert pmf[10] == pytest.approx(0.5)
+
+    def test_feeds_general_lemma1(self):
+        """The extracted PMF is directly usable with Eq. (1)."""
+        pmf = frame_size_pmf([50, 100, 100, 150])
+        value = expected_useful_packets_pmf(0.1, pmf)
+        assert value > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frame_size_pmf([])
+        with pytest.raises(ValueError):
+            frame_size_pmf([0, 10])
+
+
+class TestSummary:
+    def test_headline_statistics(self):
+        trace = generate_foreman_like(120, seed=3, gop_size=12)
+        summary = trace_summary(trace)
+        assert summary["frames"] == 120
+        assert summary["intra_frames"] == 10
+        assert 24 < summary["mean_base_psnr_db"] < 32
+        assert summary["min_base_psnr_db"] <= summary["max_base_psnr_db"]
+        assert summary["duration_s"] == pytest.approx(120 * 0.65625)
