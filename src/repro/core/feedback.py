@@ -17,7 +17,6 @@ Implements Section 5.2:
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from ..sim.engine import Process, Simulator
@@ -25,8 +24,6 @@ from ..sim.packet import FeedbackLabel, Packet
 from ..sim.stats import TimeSeries
 
 __all__ = ["RouterFeedback", "FeedbackTracker"]
-
-_router_feedback_ids = itertools.count(1)
 
 
 class RouterFeedback(Process):
@@ -67,11 +64,18 @@ class RouterFeedback(Process):
         #: cadence at T.
         self.window_intervals = window_intervals
         self._window: list[int] = []
+        # Allocated per-simulator so router ids in reports don't depend
+        # on process history (see Simulator.next_id); starts at 1 so 0
+        # never collides with a FeedbackTracker that has seen no label.
         self.router_id = router_id if router_id is not None \
-            else next(_router_feedback_ids)
+            else sim.next_id("router-feedback", start=1)
         self.epoch = 0
         self.loss = 0.0
         self._byte_counter = 0
+        # One label object per epoch, shared by every packet stamped in
+        # that epoch (stamp_feedback copies on override, so sharing is
+        # safe) — the per-packet allocation was a router hot-path cost.
+        self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
         self.loss_series = TimeSeries("virtual-loss")
         self.rate_series = TimeSeries("pels-arrival-rate")
         self._timer = self.every(interval, self._compute, start_delay=interval)
@@ -81,8 +85,7 @@ class RouterFeedback(Process):
         if packet.is_ack or not packet.color.is_pels:
             return
         self._byte_counter += packet.size
-        packet.stamp_feedback(
-            FeedbackLabel(self.router_id, self.epoch, self.loss))
+        packet.stamp_feedback(self._label)
 
     def _compute(self) -> None:
         """Close interval ``T``: Eq. 11 update of (R, p, z, S)."""
@@ -93,6 +96,7 @@ class RouterFeedback(Process):
         rate = sum(self._window) * 8 / (len(self._window) * self.interval)
         self.loss = max(0.0, (rate - self.capacity_bps) / rate) if rate > 0 else 0.0
         self.epoch += 1
+        self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
         self.loss_series.record(self.sim.now, self.loss)
         self.rate_series.record(self.sim.now, rate)
 

@@ -91,6 +91,15 @@ class PelsBottleneckQueue(QueueDiscipline):
             color: WindowedLossEstimator(color.name.lower())
             for color in (Color.GREEN, Color.YELLOW, Color.RED)
         }
+        # List views indexed by the IntEnum value: skip the dict hash /
+        # classifier indirection on the per-packet enqueue path
+        # (BEST_EFFORT maps to no estimator and the Internet FIFO).
+        self._estimator_by_color = [self.loss_estimators[Color.GREEN],
+                                    self.loss_estimators[Color.YELLOW],
+                                    self.loss_estimators[Color.RED],
+                                    None]
+        self._leaf_by_color = [self.green_queue, self.yellow_queue,
+                               self.red_queue, self.internet_queue]
         for color, queue in ((Color.GREEN, self.green_queue),
                              (Color.YELLOW, self.yellow_queue),
                              (Color.RED, self.red_queue)):
@@ -104,7 +113,7 @@ class PelsBottleneckQueue(QueueDiscipline):
 
     @staticmethod
     def _aggregate_index(packet: Packet) -> int:
-        return 0 if packet.color.is_pels else 1
+        return 0 if packet.color is not Color.BEST_EFFORT else 1
 
     def _make_drop_hook(self, color: Color):
         estimator = self.loss_estimators[color]
@@ -117,18 +126,35 @@ class PelsBottleneckQueue(QueueDiscipline):
     # -- QueueDiscipline interface (delegate to the WRR root) ------------
 
     def enqueue(self, packet: Packet) -> bool:
-        self.stats.record_arrival(packet)
-        if packet.color.is_pels:
-            self.loss_estimators[packet.color].record_arrival()
-        accepted = self.scheduler.enqueue(packet)
-        if not accepted:
-            self.stats.record_drop(packet)
+        # Drops straight into the leaf drop-tail queue for the packet's
+        # color instead of re-classifying through WRR -> strict-priority
+        # -> leaf: the intermediate schedulers only route on enqueue
+        # (their discipline acts on dequeue), and every reader of
+        # arrival/drop statistics uses either this aggregate level or
+        # the leaf queues.
+        stats = self.stats
+        color = packet.color
+        stats.arrivals += 1
+        stats.arrival_bytes += packet.size
+        estimator = self._estimator_by_color[color]
+        if estimator is not None:
+            estimator.record_arrival()
+        accepted = self._leaf_by_color[color].enqueue(packet)
+        if accepted:
+            # Keep the WRR backlog counter coherent: its dequeue() is
+            # still the service path.
+            self.scheduler._backlog += 1
+        else:
+            stats.drops += 1
+            stats.drop_bytes += packet.size
         return accepted
 
     def dequeue(self) -> Optional[Packet]:
         packet = self.scheduler.dequeue()
         if packet is not None:
-            self.stats.record_departure(packet)
+            stats = self.stats
+            stats.departures += 1
+            stats.departure_bytes += packet.size
         return packet
 
     def peek(self) -> Optional[Packet]:

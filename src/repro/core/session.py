@@ -63,6 +63,10 @@ class PelsScenario:
     #: Record (frame_id, arrival, color) per packet at every sink
     #: (needed by the playback-deadline analysis; off by default).
     record_arrivals: bool = False
+    #: Per-color delay series sampling at the sinks: 1 records every
+    #: delay sample (exact Fig. 8/9 windows), n keeps every n-th,
+    #: 0 disables the series (aggregate mean/max stay exact).
+    delay_series_stride: int = 1
 
     feedback_interval: float = 0.030
     #: Sliding-window length (in feedback intervals) for the router's
@@ -179,7 +183,8 @@ class PelsSimulation:
             sink = PelsSink(self.sim, dst_host, flow_id=flow, source=source,
                             ack_delay=backward_delay,
                             ack_loss_rate=s.ack_loss_rate,
-                            record_arrivals=s.record_arrivals)
+                            record_arrivals=s.record_arrivals,
+                            delay_series_stride=s.delay_series_stride)
             self.sources.append(source)
             self.sinks.append(sink)
 

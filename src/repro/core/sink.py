@@ -31,7 +31,8 @@ class PelsSink:
                  ack_via_network: bool = False,
                  ack_loss_rate: float = 0.0,
                  green_packets: Optional[int] = None,
-                 record_arrivals: bool = False) -> None:
+                 record_arrivals: bool = False,
+                 delay_series_stride: int = 1) -> None:
         if not 0 <= ack_loss_rate < 1:
             raise ValueError("ack loss rate must be in [0, 1)")
         self.sim = sim
@@ -59,12 +60,22 @@ class PelsSink:
             self.green_packets = 21
 
         self.frames: Dict[int, FrameReception] = {}
+        #: See DelayProbe.series_stride — 1 records every delay sample,
+        #: 0 keeps only the aggregate counters (mean/max stay exact).
         self.delay_probes: Dict[Color, DelayProbe] = {
-            color: DelayProbe(color.name.lower())
+            color: DelayProbe(color.name.lower(),
+                              series_stride=delay_series_stride)
             for color in (Color.GREEN, Color.YELLOW, Color.RED)
         }
+        # Color.is_pels and the dict hash are per-packet costs; a plain
+        # list indexed by the IntEnum value skips both.
+        self._probe_by_color = [self.delay_probes[Color.GREEN],
+                                self.delay_probes[Color.YELLOW],
+                                self.delay_probes[Color.RED],
+                                None]
         self.packets_received = 0
         self.bytes_received = 0
+        self._source_receive = None if source is None else source.receive
         host.attach_agent(self, flow_id)
 
     def receive(self, packet: Packet) -> None:
@@ -72,12 +83,12 @@ class PelsSink:
             return
         self.packets_received += 1
         self.bytes_received += packet.size
+        now = self.sim.now
         if self.record_arrivals and packet.frame_id is not None:
-            self.arrivals.append((packet.frame_id, self.sim.now,
-                                  packet.color))
-        if packet.color.is_pels:
-            self.delay_probes[packet.color].record(
-                self.sim.now, self.sim.now - packet.created_at)
+            self.arrivals.append((packet.frame_id, now, packet.color))
+        probe = self._probe_by_color[packet.color]
+        if probe is not None:
+            probe.record(now, now - packet.created_at)
         self._account_frame(packet)
         self._ack(packet)
 
@@ -104,8 +115,8 @@ class PelsSink:
         ack = data_packet.make_ack(self.sim.now)
         if self.ack_via_network:
             self.host.send(ack)
-        elif self.source is not None:
-            self.sim.schedule(self.ack_delay, self.source.receive, ack)
+        elif self._source_receive is not None:
+            self.sim.call_later(self.ack_delay, self._source_receive, ack)
 
     # -- reconstruction helpers ------------------------------------------
 

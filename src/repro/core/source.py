@@ -72,9 +72,14 @@ class PelsSource:
         self._generation = 0
         self._counts = [0, 0, 0]
         self._stopped = False
+        # Pacing/frame events fire once and are never cancelled (the
+        # generation counter guards staleness), so prebind the callbacks
+        # and use the handle-free scheduling fast path.
+        self._send_frame_cb = self._send_frame
+        self._emit_next_cb = self._emit_next
 
         host.attach_agent(self, flow_id)
-        sim.schedule(start_time, self._send_frame)
+        sim.call_later(start_time, self._send_frame_cb)
 
     # -- transmit path -----------------------------------------------------
 
@@ -98,7 +103,7 @@ class PelsSource:
         self._frame_deadline = self.sim.now + interval
         self.rate_series.record(self.sim.now, rate)
         self.gamma_series.record(self.sim.now, gamma)
-        self.sim.schedule(interval, self._send_frame)
+        self.sim.call_later(interval, self._send_frame_cb)
         self._emit_next(self._generation)
 
     def _finalize_frame_log(self) -> None:
@@ -119,7 +124,7 @@ class PelsSource:
         self._plan_pos += 1
         self._emit(plan)
         gap = plan.size * 8 / max(self.controller.rate_bps, 1.0)
-        self.sim.schedule(gap, self._emit_next, generation)
+        self.sim.call_later(gap, self._emit_next_cb, generation)
 
     def _emit(self, plan: PacketPlan) -> None:
         packet = Packet(flow_id=self.flow_id, size=plan.size,

@@ -29,7 +29,7 @@ from .common import ExperimentResult
 
 __all__ = ["run_sigma_sweep", "run_pthr_sweep", "run_wrr_sweep",
            "run_red_buffer_sweep", "run_controller_comparison",
-           "run_two_priority", "run_robustness", "run"]
+           "run_two_priority", "run_robustness", "run", "ABLATIONS"]
 
 
 def run_sigma_sweep(fast: bool = False) -> ExperimentResult:
@@ -243,11 +243,23 @@ def run_robustness(fast: bool = False) -> ExperimentResult:
     return result
 
 
+#: Ablation id -> runner, in report order.  The experiment runner keys
+#: off this registry so ``--only A3`` executes just that sweep instead
+#: of the whole set.
+ABLATIONS = {
+    "A1": run_sigma_sweep,
+    "A2": run_pthr_sweep,
+    "A3": run_wrr_sweep,
+    "A4": run_red_buffer_sweep,
+    "A5": run_controller_comparison,
+    "A6": run_two_priority,
+    "A7": run_robustness,
+}
+
+
 def run(fast: bool = False) -> list:
     """Run all ablations; returns the list of results."""
-    return [run_sigma_sweep(fast), run_pthr_sweep(fast), run_wrr_sweep(fast),
-            run_red_buffer_sweep(fast), run_controller_comparison(fast),
-            run_two_priority(fast), run_robustness(fast)]
+    return [fn(fast=fast) for fn in ABLATIONS.values()]
 
 
 if __name__ == "__main__":  # pragma: no cover

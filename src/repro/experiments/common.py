@@ -66,6 +66,10 @@ class ExperimentResult:
     metrics: Dict[str, float] = field(default_factory=dict)
     #: Raw data series for plotting, keyed by name -> (times, values).
     series: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock seconds the runner spent producing this artifact
+    #: (filled in by the runner; not part of the rendered report so the
+    #: report text stays deterministic).
+    wall_time: float = 0.0
 
     def add_table(self, headers: Sequence[str], rows: Sequence[Sequence[Any]],
                   title: str = "") -> None:

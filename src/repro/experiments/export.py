@@ -28,6 +28,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "metrics": dict(result.metrics),
         "series": {name: _serializable(series)
                    for name, series in result.series.items()},
+        "wall_time": result.wall_time,
     }
 
 

@@ -2,9 +2,17 @@
 
 Usage::
 
-    python -m repro.experiments            # full runs
-    python -m repro.experiments --fast     # CI-sized runs
-    python -m repro.experiments --only F7  # one artifact
+    python -m repro.experiments                # full runs
+    python -m repro.experiments --fast         # CI-sized runs
+    python -m repro.experiments --only F7      # one artifact
+    python -m repro.experiments --only A3      # one ablation
+    python -m repro.experiments --jobs 4       # experiments in parallel
+    python -m repro.experiments --profile out.pstats   # cProfile dump
+
+Experiments are independent (each builds its own seeded simulator), so
+``--jobs N`` farms them out to a process pool; results come back in the
+same deterministic order as a serial run.  Per-experiment wall times go
+to stderr so stdout stays byte-stable across hosts.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from . import (ablations, bursts_exp, closed_loop_be, deadlines,
                fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
@@ -39,20 +47,50 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
+    """All runnable artifacts: figures/tables plus ablations."""
+    registry = dict(EXPERIMENTS)
+    registry.update(ablations.ABLATIONS)
+    return registry
+
+
+def _select(only: str, with_ablations: bool) -> List[str]:
+    """Experiment ids to run, in deterministic report order."""
+    if only:
+        key = only.upper()
+        return [key] if key in _registry() else []
+    keys = list(EXPERIMENTS)
+    if with_ablations:
+        keys.extend(ablations.ABLATIONS)
+    return keys
+
+
+def _run_one(key: str, fast: bool) -> ExperimentResult:
+    """Execute one experiment and stamp its wall time.
+
+    Module-level so it pickles for the ``--jobs`` process pool.
+    """
+    t0 = time.perf_counter()
+    result = _registry()[key](fast=fast)
+    result.wall_time = time.perf_counter() - t0
+    return result
+
+
 def run_all(fast: bool = False, only: str = "",
-            with_ablations: bool = True) -> List[ExperimentResult]:
-    """Run the selected experiments and return their results."""
-    results: List[ExperimentResult] = []
-    for key, fn in EXPERIMENTS.items():
-        if only and key.lower() != only.lower():
-            continue
-        results.append(fn(fast=fast))
-    if with_ablations and not only:
-        results.extend(ablations.run(fast=fast))
-    elif only and only.upper().startswith("A"):
-        results.extend(r for r in ablations.run(fast=fast)
-                       if r.experiment_id.lower() == only.lower())
-    return results
+            with_ablations: bool = True, jobs: int = 1) -> List[ExperimentResult]:
+    """Run the selected experiments and return their results.
+
+    With ``jobs > 1`` the experiments run in a process pool; each one
+    owns a seeded simulator, so results are bit-identical to a serial
+    run and are returned in the same order.
+    """
+    keys = _select(only, with_ablations)
+    if jobs > 1 and len(keys) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_one, key, fast) for key in keys]
+            return [future.result() for future in futures]
+    return [_run_one(key, fast) for key in keys]
 
 
 def _is_plottable(data) -> bool:
@@ -65,6 +103,16 @@ def _is_plottable(data) -> bool:
         isinstance(v, (int, float)) for v in list(data)[:3])
 
 
+def _print_timings(results: List[ExperimentResult]) -> None:
+    """Per-experiment wall times (stderr keeps stdout deterministic)."""
+    total = sum(r.wall_time for r in results)
+    print("-- per-experiment wall time --", file=sys.stderr)
+    for result in sorted(results, key=lambda r: -r.wall_time):
+        share = result.wall_time / total * 100 if total else 0.0
+        print(f"   {result.experiment_id:<4} {result.wall_time:7.2f}s"
+              f"  {share:5.1f}%", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures")
@@ -74,18 +122,40 @@ def main(argv=None) -> int:
                         help="run a single artifact (e.g. T1, F7, A3)")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation studies")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments in N worker processes")
     parser.add_argument("--json", default="",
                         help="also write all results to this JSON file")
     parser.add_argument("--plot", action="store_true",
                         help="render ASCII charts for recorded series")
+    parser.add_argument("--profile", nargs="?", const="repro-profile.pstats",
+                        default="", metavar="PATH",
+                        help="dump cProfile stats of the run to PATH "
+                             "(implies --jobs 1) and print the top "
+                             "functions to stderr")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    profiler = None
+    jobs = args.jobs
+    if args.profile:
+        import cProfile
+        if jobs > 1:
+            print("-- profiling runs serially; ignoring --jobs --",
+                  file=sys.stderr)
+            jobs = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     t0 = time.time()
     results = run_all(fast=args.fast, only=args.only,
-                      with_ablations=not args.no_ablations)
+                      with_ablations=not args.no_ablations, jobs=jobs)
+    if profiler is not None:
+        profiler.disable()
     if not results:
         print(f"no experiment matches {args.only!r}; have "
-              f"{sorted(EXPERIMENTS)} + A1..A6", file=sys.stderr)
+              f"{sorted(_registry())}", file=sys.stderr)
         return 2
     for result in results:
         print(result.render())
@@ -109,6 +179,14 @@ def main(argv=None) -> int:
           f"{time.time() - t0:.1f}s; {len(diverging)} checks diverged --")
     for note in diverging:
         print("   ", note)
+    _print_timings(results)
+    if profiler is not None:
+        import pstats
+        profiler.dump_stats(args.profile)
+        print(f"-- cProfile stats written to {args.profile} --",
+              file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("tottime").print_stats(25)
     return 0
 
 

@@ -39,6 +39,11 @@ class Link:
         Egress queue discipline; defaults to a 64-packet drop-tail FIFO.
     """
 
+    __slots__ = ("sim", "src", "_dst", "rate_bps", "delay", "queue", "name",
+                 "busy", "bytes_sent", "packets_sent", "on_transmit",
+                 "_finish_cb", "_deliver_cb", "_call_later", "_dst_receive",
+                 "_queue_enqueue", "_queue_transit", "_queue_dequeue")
+
     def __init__(self, sim: Simulator, src: "object", dst: "object",
                  rate_bps: float, delay: float,
                  queue: Optional[QueueDiscipline] = None, name: str = "") -> None:
@@ -57,6 +62,28 @@ class Link:
         self.bytes_sent = 0
         self.packets_sent = 0
         self.on_transmit: Optional[TxHook] = None
+        # Transmission events are never cancelled and fire once per
+        # packet per hop, so bind the callbacks (and the queue/simulator
+        # entry points — neither is ever replaced after construction)
+        # once instead of re-resolving attributes on every packet.
+        self._finish_cb = self._finish_transmission
+        self._deliver_cb = self._deliver
+        self._call_later = sim.call_later
+        self._queue_enqueue = self.queue.enqueue
+        self._queue_transit = self.queue.transit
+        self._queue_dequeue = self.queue.dequeue
+
+    @property
+    def dst(self) -> "object":
+        return self._dst
+
+    @dst.setter
+    def dst(self, node: "object") -> None:
+        # Topology builders may re-point a link after construction (the
+        # multi-hop interferer wiring does); route the prebound receive
+        # through a setter so the delivery fast path never goes stale.
+        self._dst = node
+        self._dst_receive = node.receive
 
     def send(self, packet: Packet) -> bool:
         """Offer a packet to the egress queue; start the transmitter if idle.
@@ -64,32 +91,41 @@ class Link:
         Returns True if the packet was accepted by the queue.
         """
         packet.enqueued_at = self.sim.now
-        accepted = self.queue.enqueue(packet)
-        if accepted and not self.busy:
-            self._start_next()
-        return accepted
+        if self.busy:
+            return self._queue_enqueue(packet)
+        # Idle transmitter: admit and serve in one call (see
+        # QueueDiscipline.transit) instead of enqueue + dequeue.
+        served = self._queue_transit(packet)
+        if served is None:
+            return False
+        self.busy = True
+        if self.on_transmit is not None:
+            self.on_transmit(served, self)
+        self._call_later(served.size * 8 / self.rate_bps,
+                         self._finish_cb, served)
+        return True
 
     def _start_next(self) -> None:
-        packet = self.queue.dequeue()
+        packet = self._queue_dequeue()
         if packet is None:
             self.busy = False
             return
         self.busy = True
         if self.on_transmit is not None:
             self.on_transmit(packet, self)
-        tx_time = packet.size_bits / self.rate_bps
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        self._call_later(packet.size * 8 / self.rate_bps,
+                         self._finish_cb, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         self.bytes_sent += packet.size
         self.packets_sent += 1
-        self.sim.schedule(self.delay, self._deliver, packet)
+        self._call_later(self.delay, self._deliver_cb, packet)
         # Immediately begin the next packet, if any.
         self._start_next()
 
     def _deliver(self, packet: Packet) -> None:
         packet.hops += 1
-        self.dst.receive(packet, self)
+        self._dst_receive(packet, self)
 
     @property
     def utilization_bytes(self) -> int:

@@ -9,7 +9,6 @@ observe/stamp packets as they pass.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, List, Optional, Protocol
 
 from .engine import Simulator
@@ -17,8 +16,6 @@ from .link import Link
 from .packet import Packet
 
 __all__ = ["Node", "Host", "Router", "Agent"]
-
-_node_ids = itertools.count()
 
 #: Hook a router process registers to observe packets pre-forwarding.
 PacketHook = Callable[[Packet], None]
@@ -36,7 +33,11 @@ class Node:
 
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
-        self.node_id = next(_node_ids)
+        # Ids are allocated per-simulator (not from a process-global
+        # counter) so a simulation's topology labels do not depend on
+        # what else ran earlier in the process — serial sweeps and
+        # --jobs workers produce identical reports.
+        self.node_id = sim.next_id("node")
         self.name = name or f"node{self.node_id}"
         self.routes: Dict[int, Link] = {}
         self.default_route: Optional[Link] = None
@@ -46,9 +47,9 @@ class Node:
         self.routes[dst_id] = link
 
     def route_for(self, packet: Packet) -> Optional[Link]:
-        if packet.dst is not None and packet.dst in self.routes:
-            return self.routes[packet.dst]
-        return self.default_route
+        # routes is keyed by int node ids, so a packet.dst of None falls
+        # through to the default route exactly as the explicit check did.
+        return self.routes.get(packet.dst, self.default_route)
 
     def receive(self, packet: Packet, link: Optional[Link]) -> None:
         raise NotImplementedError
@@ -90,7 +91,7 @@ class Host(Node):
     def send(self, packet: Packet) -> bool:
         """Inject a locally generated packet into the network."""
         packet.src = self.node_id
-        link = self.route_for(packet)
+        link = self.routes.get(packet.dst, self.default_route)
         if link is None:
             raise RuntimeError(f"{self.name} has no route for {packet}")
         return link.send(packet)
@@ -119,7 +120,7 @@ class Router(Node):
 
     def forward(self, packet: Packet) -> bool:
         """Apply hooks then enqueue on the egress link toward the dst."""
-        out = self.route_for(packet)
+        out = self.routes.get(packet.dst, self.default_route)
         if out is None:
             self.no_route_drops += 1
             return False

@@ -38,7 +38,7 @@ class Color(enum.IntEnum):
         return self is not Color.BEST_EFFORT
 
 
-@dataclass
+@dataclass(slots=True)
 class FeedbackLabel:
     """The ``(router ID, z, p(k))`` label from the paper (Section 5.2).
 
@@ -58,7 +58,7 @@ class FeedbackLabel:
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A network packet.
 

@@ -21,6 +21,9 @@ DropCallback = Callable[[Packet, str], None]
 class QueueStats:
     """Arrival/drop/departure counters kept by every queue."""
 
+    __slots__ = ("arrivals", "arrival_bytes", "drops", "drop_bytes",
+                 "departures", "departure_bytes")
+
     def __init__(self) -> None:
         self.arrivals = 0
         self.arrival_bytes = 0
@@ -57,6 +60,8 @@ class QueueDiscipline:
     reason string.
     """
 
+    __slots__ = ("name", "stats", "on_drop", "arrival_log")
+
     def __init__(self, name: str = "") -> None:
         self.name = name or self.__class__.__name__
         self.stats = QueueStats()
@@ -75,6 +80,20 @@ class QueueDiscipline:
     def peek(self) -> Optional[Packet]:
         """Return the packet ``dequeue`` would return, without removing it."""
         raise NotImplementedError
+
+    def transit(self, packet: Packet) -> Optional[Packet]:
+        """Admit ``packet``, then immediately serve the discipline's head.
+
+        An idle transmitter calls this instead of enqueue-then-dequeue;
+        the two are equivalent by construction (the served packet is
+        whatever ``dequeue`` picks after the arrival).  Disciplines with
+        trivial structure override it to skip the two-call round trip on
+        the uncontended path.  Returns the packet to transmit, or
+        ``None`` if the arrival was dropped and nothing is queued.
+        """
+        if self.enqueue(packet):
+            return self.dequeue()
+        return None
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -96,6 +115,8 @@ class DropTailQueue(QueueDiscipline):
     dropped if accepting it would exceed either bound.
     """
 
+    __slots__ = ("capacity_packets", "capacity_bytes", "_queue", "_bytes")
+
     def __init__(self, capacity_packets: Optional[int] = 64,
                  capacity_bytes: Optional[int] = None, name: str = "") -> None:
         super().__init__(name)
@@ -107,19 +128,22 @@ class DropTailQueue(QueueDiscipline):
         self._bytes = 0
 
     def enqueue(self, packet: Packet) -> bool:
-        self.stats.record_arrival(packet)
+        size = packet.size
+        stats = self.stats
+        stats.arrivals += 1
+        stats.arrival_bytes += size
         accepted = True
         if self.capacity_packets is not None \
                 and len(self._queue) >= self.capacity_packets:
             self._drop(packet, "full-packets")
             accepted = False
         elif (self.capacity_bytes is not None
-                and self._bytes + packet.size > self.capacity_bytes):
+                and self._bytes + size > self.capacity_bytes):
             self._drop(packet, "full-bytes")
             accepted = False
         else:
             self._queue.append(packet)
-            self._bytes += packet.size
+            self._bytes += size
         if self.arrival_log is not None:
             self.arrival_log.append(not accepted)
         return accepted
@@ -128,12 +152,40 @@ class DropTailQueue(QueueDiscipline):
         if not self._queue:
             return None
         packet = self._queue.popleft()
-        self._bytes -= packet.size
-        self.stats.record_departure(packet)
+        size = packet.size
+        self._bytes -= size
+        stats = self.stats
+        stats.departures += 1
+        stats.departure_bytes += size
         return packet
 
     def peek(self) -> Optional[Packet]:
         return self._queue[0] if self._queue else None
+
+    def transit(self, packet: Packet) -> Optional[Packet]:
+        # Uncontended fast path: an empty FIFO admits the packet (one
+        # packet never exceeds capacity_packets >= 1) and serves it
+        # straight back, so only the counters need updating.  A
+        # non-empty queue falls back to the generic path, which serves
+        # the proper head.
+        if self._queue:
+            if self.enqueue(packet):
+                return self.dequeue()
+            return None
+        size = packet.size
+        stats = self.stats
+        stats.arrivals += 1
+        stats.arrival_bytes += size
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            self._drop(packet, "full-bytes")
+            if self.arrival_log is not None:
+                self.arrival_log.append(True)
+            return None
+        stats.departures += 1
+        stats.departure_bytes += size
+        if self.arrival_log is not None:
+            self.arrival_log.append(False)
+        return packet
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -151,6 +203,10 @@ class REDQueue(QueueDiscipline):
     that grows with the EWMA of the queue length, which is precisely the
     independent-loss regime analysed in Section 3.1.
     """
+
+    __slots__ = ("capacity_packets", "min_thresh", "max_thresh", "max_p",
+                 "weight", "rng", "_queue", "_bytes", "avg",
+                 "_count_since_drop")
 
     def __init__(self, capacity_packets: int = 64, min_thresh: float = 5,
                  max_thresh: float = 15, max_p: float = 0.1,

@@ -25,6 +25,8 @@ class StrictPriorityScheduler(QueueDiscipline):
     yellow packet is waiting (Section 4.1).
     """
 
+    __slots__ = ("children", "classifier")
+
     def __init__(self, children: Sequence[QueueDiscipline],
                  classifier: Classifier, name: str = "") -> None:
         super().__init__(name)
@@ -34,7 +36,9 @@ class StrictPriorityScheduler(QueueDiscipline):
         self.classifier = classifier
 
     def enqueue(self, packet: Packet) -> bool:
-        self.stats.record_arrival(packet)
+        stats = self.stats
+        stats.arrivals += 1
+        stats.arrival_bytes += packet.size
         index = self.classifier(packet)
         if not 0 <= index < len(self.children):
             raise ValueError(f"classifier returned invalid child index {index}")
@@ -42,14 +46,17 @@ class StrictPriorityScheduler(QueueDiscipline):
         if not accepted:
             # The child already counted the drop; mirror it at this level
             # so aggregate loss statistics are available in one place.
-            self.stats.record_drop(packet)
+            stats.drops += 1
+            stats.drop_bytes += packet.size
         return accepted
 
     def dequeue(self) -> Optional[Packet]:
         for child in self.children:
             packet = child.dequeue()
             if packet is not None:
-                self.stats.record_departure(packet)
+                stats = self.stats
+                stats.departures += 1
+                stats.departure_bytes += packet.size
                 return packet
         return None
 
@@ -78,6 +85,9 @@ class WeightedRoundRobinScheduler(QueueDiscipline):
     transmits head packets while the deficit covers them.
     """
 
+    __slots__ = ("children", "weights", "classifier", "quantum_bytes",
+                 "_deficits", "_turn", "_turn_fresh", "_backlog")
+
     def __init__(self, children: Sequence[QueueDiscipline],
                  weights: Sequence[float], classifier: Classifier,
                  quantum_bytes: int = 1500, name: str = "") -> None:
@@ -96,15 +106,24 @@ class WeightedRoundRobinScheduler(QueueDiscipline):
         self._deficits = [0.0] * len(children)
         self._turn = 0
         self._turn_fresh = True  # whether the current turn still owes a quantum
+        # Packets accepted minus packets served through *this* scheduler;
+        # lets dequeue() skip the O(children) emptiness scan on the hot
+        # path.  Direct child manipulation falls back to the exact scan.
+        self._backlog = 0
 
     def enqueue(self, packet: Packet) -> bool:
-        self.stats.record_arrival(packet)
+        stats = self.stats
+        stats.arrivals += 1
+        stats.arrival_bytes += packet.size
         index = self.classifier(packet)
         if not 0 <= index < len(self.children):
             raise ValueError(f"classifier returned invalid child index {index}")
         accepted = self.children[index].enqueue(packet)
-        if not accepted:
-            self.stats.record_drop(packet)
+        if accepted:
+            self._backlog += 1
+        else:
+            stats.drops += 1
+            stats.drop_bytes += packet.size
         return accepted
 
     def _advance_turn(self) -> None:
@@ -112,28 +131,42 @@ class WeightedRoundRobinScheduler(QueueDiscipline):
         self._turn_fresh = True
 
     def dequeue(self) -> Optional[Packet]:
-        if len(self) == 0:
+        if self._backlog <= 0 and len(self) == 0:
             return None
-        n = len(self.children)
+        children = self.children
+        deficits = self._deficits
+        n = len(children)
         # At most one full cycle of deficit replenishment is needed per
         # packet because some child is backlogged and each fresh turn
         # adds a quantum that eventually covers the head packet.
+        idle_streak = 0
         for _ in range(n * 64):
-            child = self.children[self._turn]
+            turn = self._turn
+            child = children[turn]
             head = child.peek()
             if head is None:
                 # Idle children forfeit their deficit (DRR rule).
-                self._deficits[self._turn] = 0.0
+                deficits[turn] = 0.0
                 self._advance_turn()
+                idle_streak += 1
+                if idle_streak >= n:
+                    # All children empty: the backlog counter drifted
+                    # (direct child manipulation); resync and bail out.
+                    self._backlog = 0
+                    return None
                 continue
+            idle_streak = 0
             if self._turn_fresh:
-                self._deficits[self._turn] += self.quantum_bytes * self.weights[self._turn]
+                deficits[turn] += self.quantum_bytes * self.weights[turn]
                 self._turn_fresh = False
-            if self._deficits[self._turn] >= head.size:
+            if deficits[turn] >= head.size:
                 packet = child.dequeue()
-                assert packet is not None
-                self._deficits[self._turn] -= packet.size
-                self.stats.record_departure(packet)
+                deficits[turn] -= packet.size
+                if self._backlog > 0:
+                    self._backlog -= 1
+                stats = self.stats
+                stats.departures += 1
+                stats.departure_bytes += packet.size
                 return packet
             self._advance_turn()
         raise RuntimeError("WRR failed to make progress; quantum too small?")

@@ -24,6 +24,8 @@ __all__ = [
 class TimeSeries:
     """An append-only (time, value) series with window queries."""
 
+    __slots__ = ("name", "times", "values")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.times: List[float] = []
@@ -74,20 +76,40 @@ class DelayProbe:
     """Records per-packet one-way delays, bucketed over time.
 
     Used for Figs. 8 and 9 (green/yellow/red queueing delays).
+
+    The aggregate counters (count / mean / max) are always maintained —
+    they cost three arithmetic ops per sample.  The full time series is
+    opt-out/sampled via ``series_stride``: with the default of 1 every
+    sample is recorded (exact window queries); a stride of ``n`` keeps
+    every n-th sample; 0 disables the series entirely so an idle probe
+    costs nothing per packet beyond the counters.
     """
 
-    def __init__(self, name: str = "") -> None:
+    __slots__ = ("name", "series", "count", "_sum", "_max",
+                 "series_stride", "_tick")
+
+    def __init__(self, name: str = "", series_stride: int = 1) -> None:
+        if series_stride < 0:
+            raise ValueError("series_stride must be >= 0")
         self.name = name
         self.series = TimeSeries(name)
         self.count = 0
         self._sum = 0.0
         self._max = 0.0
+        self.series_stride = series_stride
+        self._tick = 0
 
     def record(self, now: float, delay: float) -> None:
-        self.series.record(now, delay)
         self.count += 1
         self._sum += delay
-        self._max = max(self._max, delay)
+        if delay > self._max:
+            self._max = delay
+        stride = self.series_stride
+        if stride:
+            self._tick += 1
+            if self._tick >= stride:
+                self._tick = 0
+                self.series.record(now, delay)
 
     @property
     def mean(self) -> float:
@@ -103,6 +125,8 @@ class DelayProbe:
 
 class RateMeter:
     """Byte counter sampled into a rate (bits/second) time series."""
+
+    __slots__ = ("name", "series", "_bytes", "_last_sample", "total_bytes")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -135,6 +159,9 @@ class WindowedLossEstimator:
     the interval and appends drops/arrivals to a series.  Used for the
     red-queue physical loss in Fig. 7 (right).
     """
+
+    __slots__ = ("name", "series", "_arrivals", "_drops",
+                 "total_arrivals", "total_drops")
 
     def __init__(self, name: str = "") -> None:
         self.name = name

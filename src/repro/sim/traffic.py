@@ -37,7 +37,8 @@ class CbrSource:
         self.stop_time = stop_time
         self.packets_sent = 0
         self._seq = 0
-        sim.schedule(start_time, self._emit)
+        self._emit_cb = self._emit
+        sim.call_later(start_time, self._emit_cb)
 
     @property
     def interval(self) -> float:
@@ -52,7 +53,7 @@ class CbrSource:
         self._seq += 1
         self.packets_sent += 1
         self.host.send(packet)
-        self.sim.schedule(self.interval, self._emit)
+        self.sim.call_later(self.interval, self._emit_cb)
 
 
 class PoissonSource:
@@ -76,7 +77,8 @@ class PoissonSource:
         self.stop_time = stop_time
         self.packets_sent = 0
         self._seq = 0
-        sim.schedule(start_time + self._draw_gap(), self._emit)
+        self._emit_cb = self._emit
+        sim.call_later(start_time + self._draw_gap(), self._emit_cb)
 
     def _draw_gap(self) -> float:
         mean_interval = self.packet_size * 8 / self.rate_bps
@@ -91,4 +93,4 @@ class PoissonSource:
         self._seq += 1
         self.packets_sent += 1
         self.host.send(packet)
-        self.sim.schedule(self._draw_gap(), self._emit)
+        self.sim.call_later(self._draw_gap(), self._emit_cb)

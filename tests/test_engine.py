@@ -122,6 +122,142 @@ class TestRunLimits:
         assert sim.events_dispatched == 5
 
 
+class TestRunBoundaries:
+    """Re-entrant run(until=...)/max_events semantics at the edges."""
+
+    def test_event_exactly_at_until_fires(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "edge")
+        sim.run(until=3.0)
+        assert fired == ["edge"]
+        assert sim.now == 3.0
+
+    def test_event_past_until_is_requeued_not_lost(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "later")
+        sim.run(until=3.0)
+        assert fired == []
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["later"]
+        assert sim.now == 5.0
+
+    def test_requeued_boundary_event_fires_exactly_once(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "x")
+        # The first run pops the event, sees it is past the horizon and
+        # pushes it back; repeated horizon runs must not duplicate it.
+        sim.run(until=1.0)
+        sim.run(until=2.0)
+        sim.run(until=9.0)
+        sim.run()
+        assert fired == ["x"]
+
+    def test_clock_never_moves_backwards_across_runs(self, sim):
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.schedule(1.0, lambda: None)  # t = 5.0
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_max_events_resumable_preserves_order(self, sim):
+        fired = []
+        for i in range(6):
+            sim.schedule(1.0, fired.append, i)  # all simultaneous
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2, 3, 4]
+        sim.run()
+        assert fired == list(range(6))
+        assert sim.events_dispatched == 6
+
+    def test_max_events_leaves_clock_at_last_dispatch(self, sim):
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=2)
+        assert sim.now == 2.0
+
+    def test_until_and_max_events_combine(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(until=3.5, max_events=2)
+        assert fired == [0, 1]
+        sim.run(until=3.5)
+        assert fired == [0, 1, 2]
+        assert sim.now == 3.5
+
+    def test_handle_free_and_handle_events_interleave_in_order(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.call_later(1.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "c")
+        sim.call_at(1.0, fired.append, "d")
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_call_later_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_later(-0.5, lambda: None)
+
+
+class TestCancellationDrain:
+    """Lazy deletion plus the eager compaction of mostly-stale heaps."""
+
+    def test_mass_cancel_triggers_drain_and_keeps_survivors(self, sim):
+        fired = []
+        doomed = [sim.schedule(1.0, fired.append, i) for i in range(500)]
+        keep = sim.schedule(2.0, fired.append, "keep")
+        for event in doomed:
+            event.cancel()
+        # The eager drain must have compacted the heap (well under the
+        # 501 entries scheduled) while keeping the live event.
+        assert sim.pending() == 1
+        assert len(sim._heap) < 100
+        sim.run()
+        assert fired == ["keep"]
+
+    def test_pending_is_exact_through_cancel_and_dispatch(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending() == 8
+        sim.run(max_events=4)
+        assert sim.pending() == 4
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_is_noop(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()  # already fired: must not corrupt accounting
+        assert fired == ["x"]
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_future_event_from_callback(self, sim):
+        fired = []
+        victim = sim.schedule(2.0, fired.append, "victim")
+        sim.schedule(1.0, victim.cancel)
+        sim.schedule(3.0, fired.append, "after")
+        sim.run()
+        assert fired == ["after"]
+
+    def test_peek_time_pops_stale_heads(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        second = sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        first.cancel()
+        second.cancel()
+        assert sim.peek_time() == 3.0
+        assert sim.pending() == 1
+        assert len(sim._heap) == 1
+
+
 class TestDeterminism:
     def test_same_seed_same_random_stream(self):
         a = Simulator(seed=42)
