@@ -1,0 +1,80 @@
+"""Fluid engine vs packet engine: the scaling claim, measured.
+
+The ISSUE's acceptance bar: on a matched 100-flow scenario the fluid
+engine must be at least 100x faster than the packet simulator.  The
+scenarios are twins by construction (same control gains, cadence,
+capacity seen through the WRR share), so the comparison times the same
+control problem through both integrators.
+
+Also benchmarks raw fluid throughput at N=1000 and N=10000 so
+``compare_bench.py`` can hold the line against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.session import PelsScenario, PelsSimulation
+from repro.fluid import FluidEngine, FluidScenario, fluid_twin_of_session
+from repro.sim.topology import BarbellConfig
+
+#: Matched N=100 scenario: a 40 mb/s bottleneck whose CBR cross traffic
+#: keeps the PELS share busy, so the packet engine carries a realistic
+#: event load (~10^6 events) while Lemma 6 keeps r* in-band.
+N_FLOWS = 100
+DURATION = 20.0
+
+_packet_wall = {}
+
+
+def _packet_scenario() -> PelsScenario:
+    return PelsScenario(
+        n_flows=N_FLOWS, duration=DURATION, seed=5,
+        topology=BarbellConfig(bottleneck_bps=40_000_000.0),
+        cross_traffic="cbr", cbr_rate_bps=25_000_000.0)
+
+
+def test_bench_packet_n100(once):
+    """Packet-engine side of the matched pair (the yardstick)."""
+
+    def run_packet():
+        t0 = time.perf_counter()
+        sim = PelsSimulation(_packet_scenario()).run()
+        _packet_wall["n100"] = time.perf_counter() - t0
+        return sim
+
+    sim = once(run_packet)
+    assert sim.sim.now >= DURATION
+
+
+def test_bench_fluid_n100_speedup(once):
+    """Fluid twin of the same run; asserts the >=100x advantage."""
+    twin = fluid_twin_of_session(_packet_scenario())
+
+    result = once(lambda: FluidEngine(twin, backend="list").run())
+    assert result.lemma6_error() < 0.02
+    packet = _packet_wall.get("n100")
+    assert packet is not None, "packet yardstick must run first"
+    speedup = packet / result.wall_time
+    assert speedup >= 100.0, (
+        f"fluid engine only {speedup:.0f}x faster than packet engine "
+        f"(packet {packet:.2f}s vs fluid {result.wall_time:.4f}s)")
+
+
+def test_bench_fluid_n1000(once):
+    """Raw fluid throughput, kiloflow population (list backend)."""
+    scenario = FluidScenario(n_flows=1_000, duration=60.0,
+                             capacities_bps=(200e6,), record_flows=False)
+
+    result = once(lambda: FluidEngine(scenario, backend="list").run())
+    assert result.lemma6_error() < 0.02
+
+
+def test_bench_fluid_n10000_chain(once):
+    """The S1 extreme: 10 000 flows over a three-hop chain."""
+    scenario = FluidScenario(
+        n_flows=10_000, duration=20.0,
+        capacities_bps=(2.5e9, 2e9, 2.5e9), record_flows=False)
+
+    result = once(lambda: FluidEngine(scenario, backend="list").run())
+    assert result.lemma6_error() < 0.02

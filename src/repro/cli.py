@@ -3,7 +3,8 @@
 Installed as the ``pels`` console script::
 
     pels simulate --flows 4 --duration 60          # run a PELS session
-    pels experiments --fast --only F7              # regenerate artifacts
+    pels fluid --flows 1000 --duration 120         # fluid-model fast path
+    pels experiments --fast --only T1,F7,S1        # regenerate artifacts
     pels analyze --loss 0.1 --frame 100            # closed-form numbers
     pels trace --frames 300 --out trace.json       # synthetic Foreman
 
@@ -44,11 +45,37 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["cbr", "tcp", "none"])
     sim.add_argument("--json", default="", help="write summary JSON here")
 
+    fld = sub.add_parser("fluid",
+                         help="epoch-batched fluid run (paper recurrences, "
+                              "no packets: thousand-flow scaling)")
+    fld.add_argument("--flows", type=int, default=4)
+    fld.add_argument("--duration", type=float, default=60.0)
+    fld.add_argument("--capacity", type=float, nargs="+",
+                     default=[2_000_000.0], metavar="BPS",
+                     help="PELS capacity per router; several values "
+                          "build a multi-hop chain")
+    fld.add_argument("--alpha", type=float, default=20_000.0,
+                     help="MKC additive gain (b/s)")
+    fld.add_argument("--beta", type=float, default=0.5,
+                     help="MKC multiplicative gain")
+    fld.add_argument("--p-thr", type=float, default=0.75,
+                     help="target red-queue loss")
+    fld.add_argument("--sigma", type=float, default=0.5,
+                     help="gamma controller gain")
+    fld.add_argument("--rtt", type=float, default=0.040,
+                     help="base round-trip propagation delay (s)")
+    fld.add_argument("--backend", default=None,
+                     choices=["list", "numpy", "auto"],
+                     help="array backend (default: list, or "
+                          "$REPRO_FLUID_BACKEND)")
+    fld.add_argument("--json", default="", help="write summary JSON here")
+
     exp = sub.add_parser("experiments",
                          help="regenerate the paper's tables and figures")
     exp.add_argument("--fast", action="store_true")
     exp.add_argument("--only", default="")
     exp.add_argument("--no-ablations", action="store_true")
+    exp.add_argument("--jobs", type=int, default=1, metavar="N")
     exp.add_argument("--json", default="")
 
     ana = sub.add_parser("analyze",
@@ -95,6 +122,52 @@ def _cmd_simulate(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_fluid(args) -> int:
+    from .fluid import FluidEngine, FluidScenario
+
+    scenario = FluidScenario(
+        n_flows=args.flows, duration=args.duration,
+        capacities_bps=tuple(args.capacity), alpha_bps=args.alpha,
+        beta=args.beta, p_thr=args.p_thr, sigma=args.sigma, rtt_s=args.rtt)
+    result = FluidEngine(scenario, backend=args.backend).run()
+    expected = scenario.lemma6_rate_bps()
+    conv = result.convergence_time(target=expected)
+    print(f"Fluid run: {args.flows} flows x {scenario.n_epochs()} epochs "
+          f"({args.duration:.0f}s at T = {scenario.feedback_interval*1000:.0f} ms), "
+          f"{len(scenario.capacities_bps)} router(s), "
+          f"backend {result.backend}")
+    print(f"  Lemma 6 r*          : {expected/1e3:.1f} kb/s")
+    print(f"  tail mean rate      : {result.tail_mean_rate()/1e3:.1f} kb/s "
+          f"(err {result.lemma6_error()*100:.3f}%)")
+    print(f"  convergence (±2%)   : "
+          f"{'not settled' if conv is None else f'{conv:.1f}s'}")
+    print(f"  tail gamma          : {result.tail_gamma():.4f} "
+          f"(expected {scenario.expected_gamma():.4f})")
+    print(f"  bottleneck router   : {result.bottleneck[-1]}")
+    # Wall time goes to stderr: stdout stays byte-stable across hosts.
+    print(f"  wall time: {result.wall_time:.3f}s "
+          f"({result.epochs_per_second():.0f} epochs/s, "
+          f"{result.wall_per_sim_second()*1e3:.2f} ms per simulated s)",
+          file=sys.stderr)
+    if args.json:
+        summary = {
+            "n_flows": args.flows,
+            "n_epochs": result.n_epochs,
+            "backend": result.backend,
+            "lemma6_rate_bps": expected,
+            "tail_mean_rate_bps": result.tail_mean_rate(),
+            "lemma6_error": result.lemma6_error(),
+            "convergence_s": conv,
+            "tail_gamma": result.tail_gamma(),
+            "final_bottleneck": result.bottleneck[-1],
+            "wall_time_s": result.wall_time,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"  summary written to {args.json}")
     return 0
 
 
@@ -192,6 +265,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args) -> int:
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "fluid":
+        return _cmd_fluid(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "trace":
@@ -207,6 +282,8 @@ def _dispatch(args) -> int:
             forwarded.extend(["--only", args.only])
         if args.no_ablations:
             forwarded.append("--no-ablations")
+        if args.jobs != 1:
+            forwarded.extend(["--jobs", str(args.jobs)])
         if args.json:
             forwarded.extend(["--json", args.json])
         return experiments_main(forwarded)

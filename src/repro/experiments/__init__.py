@@ -14,6 +14,7 @@
 * ``X5``  — extension: drop-burst structure, RED vs drop-tail (§3)
 * ``X6``  — extension: decoding deadlines, PELS vs retransmission (§1)
 * ``X7``  — extension: PELS vs FEC at equal bandwidth (§1)
+* ``S1``  — extension: fluid-engine scaling sweep (10 to 10 000 flows)
 * ``A1-A6`` — ablations (sigma, p_thr, WRR weights, red buffer,
   controller comparison, two-priority variant)
 
@@ -22,7 +23,7 @@ Run ``python -m repro.experiments [--fast] [--only F7]``.
 
 from . import (ablations, bursts_exp, closed_loop_be, deadlines,
                fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
-               heterogeneous, multihop, rd_smoothing, table1)
+               heterogeneous, multihop, rd_smoothing, scaling, table1)
 from .ascii_plot import plot_series, plot_values
 from .common import ExperimentResult, format_table
 from .export import result_to_dict, write_json, write_series_csv
@@ -51,6 +52,7 @@ __all__ = [
     "main",
     "result_to_dict",
     "run_all",
+    "scaling",
     "table1",
     "write_json",
     "write_series_csv",

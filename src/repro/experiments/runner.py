@@ -5,7 +5,7 @@ Usage::
     python -m repro.experiments                # full runs
     python -m repro.experiments --fast         # CI-sized runs
     python -m repro.experiments --only F7      # one artifact
-    python -m repro.experiments --only A3      # one ablation
+    python -m repro.experiments --only T1,F7,S1  # several artifacts
     python -m repro.experiments --jobs 4       # experiments in parallel
     python -m repro.experiments --profile out.pstats   # cProfile dump
 
@@ -20,11 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from . import (ablations, bursts_exp, closed_loop_be, deadlines,
                fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
-               heterogeneous, multihop, rd_smoothing, table1)
+               heterogeneous, multihop, rd_smoothing, scaling, table1)
 from .common import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "run_all", "main"]
@@ -44,25 +44,73 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "X5": bursts_exp.run,
     "X6": deadlines.run,
     "X7": fec_comparison.run,
+    "S1": scaling.run,
 }
+
+_REGISTRY: Optional[Dict[str, Callable[..., ExperimentResult]]] = None
 
 
 def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
-    """All runnable artifacts: figures/tables plus ablations."""
-    registry = dict(EXPERIMENTS)
-    registry.update(ablations.ABLATIONS)
-    return registry
+    """All runnable artifacts: figures/tables plus ablations.
+
+    Built once per process and cached — ``_run_one`` used to rebuild
+    the dict for every experiment, in every ``--jobs`` worker.
+    """
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = dict(EXPERIMENTS)
+        _REGISTRY.update(ablations.ABLATIONS)
+    return _REGISTRY
+
+
+def _parse_only(only: str) -> Tuple[List[str], List[str]]:
+    """Split a comma-separated ``--only`` into (known, unknown) keys.
+
+    Known keys keep the user's order (deduplicated); unknown ones are
+    reported back for the error message.
+    """
+    registry = _registry()
+    known: List[str] = []
+    unknown: List[str] = []
+    for token in only.split(","):
+        key = token.strip().upper()
+        if not key:
+            continue
+        if key in registry:
+            if key not in known:
+                known.append(key)
+        else:
+            unknown.append(key)
+    return known, unknown
 
 
 def _select(only: str, with_ablations: bool) -> List[str]:
-    """Experiment ids to run, in deterministic report order."""
+    """Experiment ids to run, in deterministic report order.
+
+    An unknown key anywhere in ``--only`` selects nothing: running the
+    valid half of a typo'd list would report success for the wrong set.
+    """
     if only:
-        key = only.upper()
-        return [key] if key in _registry() else []
+        known, unknown = _parse_only(only)
+        return [] if unknown else known
     keys = list(EXPERIMENTS)
     if with_ablations:
         keys.extend(ablations.ABLATIONS)
     return keys
+
+
+def _unknown_key_message(only: str) -> str:
+    """Error text for a bad ``--only``, with near-miss suggestions."""
+    import difflib
+    registry = sorted(_registry())
+    _, unknown = _parse_only(only)
+    parts = [] if unknown else [f"no experiment matches {only!r}"]
+    for key in unknown:
+        close = difflib.get_close_matches(key, registry, n=3, cutoff=0.4)
+        hint = f" (did you mean {', '.join(close)}?)" if close else ""
+        parts.append(f"no experiment matches {key!r}{hint}")
+    parts.append(f"have {registry}")
+    return "; ".join(parts)
 
 
 def _run_one(key: str, fast: bool) -> ExperimentResult:
@@ -93,14 +141,28 @@ def run_all(fast: bool = False, only: str = "",
     return [_run_one(key, fast) for key in keys]
 
 
+def _is_numeric_series(values) -> bool:
+    try:
+        items = list(values)
+    except TypeError:
+        return False
+    return bool(items) and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in items)
+
+
 def _is_plottable(data) -> bool:
-    """Series of numbers, or a (times, values) pair of number lists."""
+    """Series of numbers, or a (times, values) pair of number lists.
+
+    Validates *every* element: a series whose tail mixes in strings or
+    None (only the head used to be checked) must be skipped, not crash
+    ``--plot`` halfway through the report.
+    """
     if isinstance(data, tuple) and len(data) == 2:
         times, values = data
-        return bool(values) and all(
-            isinstance(v, (int, float)) for v in list(values)[:3])
-    return bool(data) and all(
-        isinstance(v, (int, float)) for v in list(data)[:3])
+        return (_is_numeric_series(times) and _is_numeric_series(values)
+                and len(list(times)) == len(list(values)))
+    return _is_numeric_series(data)
 
 
 def _print_timings(results: List[ExperimentResult]) -> None:
@@ -119,7 +181,8 @@ def main(argv=None) -> int:
     parser.add_argument("--fast", action="store_true",
                         help="short runs (CI-sized)")
     parser.add_argument("--only", default="",
-                        help="run a single artifact (e.g. T1, F7, A3)")
+                        help="run selected artifacts, comma-separated "
+                             "(e.g. T1 or T1,F7,S1)")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation studies")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -154,8 +217,7 @@ def main(argv=None) -> int:
     if profiler is not None:
         profiler.disable()
     if not results:
-        print(f"no experiment matches {args.only!r}; have "
-              f"{sorted(_registry())}", file=sys.stderr)
+        print(_unknown_key_message(args.only), file=sys.stderr)
         return 2
     for result in results:
         print(result.render())
@@ -175,8 +237,11 @@ def main(argv=None) -> int:
     diverging = [
         note for result in results for note in result.notes
         if "DIVERGES" in note]
-    print(f"-- {len(results)} artifacts regenerated in "
-          f"{time.time() - t0:.1f}s; {len(diverging)} checks diverged --")
+    # Elapsed seconds go to stderr: stdout must stay byte-identical
+    # between serial and --jobs runs (and across hosts).
+    print(f"-- {len(results)} artifacts regenerated; "
+          f"{len(diverging)} checks diverged --")
+    print(f"-- total wall time {time.time() - t0:.1f}s --", file=sys.stderr)
     for note in diverging:
         print("   ", note)
     _print_timings(results)

@@ -1,0 +1,27 @@
+"""Fluid-model fast path: the paper's recurrences without the packets.
+
+The packet simulator (``repro.sim`` + ``repro.core``) resolves every
+packet, which costs O(packets) and caps practical sweeps at tens of
+flows.  This package integrates the same control plane — MKC (Eq. 8),
+the gamma controller (Eq. 4/5) and the router virtual loss (Eq. 11) —
+as the discrete-time per-epoch recurrences the paper states them in,
+over flat parallel arrays, at O(epochs x flows + epochs x routers).
+
+Use :class:`FluidScenario` + :class:`FluidEngine` directly, the
+``pels fluid`` CLI subcommand, or the ``S1`` scaling experiment; the
+:mod:`repro.fluid.validate` builders derive matched fluid twins of the
+packet scenarios for cross-validation.
+"""
+
+from .engine import FluidEngine, FluidResult, resolve_backend
+from .scenario import FluidScenario
+from .validate import fluid_twin_of_multihop, fluid_twin_of_session
+
+__all__ = [
+    "FluidEngine",
+    "FluidResult",
+    "FluidScenario",
+    "fluid_twin_of_multihop",
+    "fluid_twin_of_session",
+    "resolve_backend",
+]

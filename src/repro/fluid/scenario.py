@@ -1,0 +1,193 @@
+"""Fluid-model scenario: the paper's recurrences, batched per epoch.
+
+The packet simulator costs O(packets); every doubling of rates or flow
+count doubles the event load.  But the paper itself models the control
+plane as discrete-time per-epoch recurrences — MKC (Eq. 8), the gamma
+controller (Eq. 4/5), and the router virtual loss (Eq. 11) all advance
+once per feedback interval ``T`` — so a deterministic fluid engine that
+integrates those recurrences directly reproduces the control dynamics
+at O(epochs x flows + epochs x routers), independent of packet rates.
+
+:class:`FluidScenario` parameterizes such a run.  It deliberately
+mirrors :class:`repro.core.session.PelsScenario` (same controller
+gains, feedback cadence and windowing) so a packet scenario has an
+exact fluid twin (see :mod:`repro.fluid.validate`), while adding the
+multi-hop pieces of :class:`repro.core.multihop.MultiHopScenario`:
+per-router capacities and PELS-colored interferers that move the
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cc.mkc import mkc_equilibrium_loss, mkc_stationary_rate
+
+__all__ = ["FluidScenario"]
+
+
+@dataclass
+class FluidScenario:
+    """Complete parameterization of a fluid-model PELS run.
+
+    Defaults match the Section 6 setup seen through the PELS share of
+    the bottleneck: C = 2 mb/s, MKC with alpha = 20 kb/s, beta = 0.5,
+    gamma control with sigma = 0.5 and p_thr = 0.75, feedback every
+    T = 30 ms averaged over a 5-interval window.
+    """
+
+    n_flows: int = 4
+    duration: float = 60.0
+    #: PELS share of each hop's capacity (``C`` of Eq. 11); the tuple
+    #: length sets the number of PELS-enabled routers on the path.
+    capacities_bps: Tuple[float, ...] = (2_000_000.0,)
+
+    alpha_bps: float = 20_000.0
+    beta: float = 0.5
+    initial_rate_bps: float = 128_000.0
+    min_rate_bps: float = 8_000.0
+    max_rate_bps: float = 10_000_000.0
+
+    sigma: float = 0.5
+    p_thr: float = 0.75
+    gamma0: float = 0.5
+    gamma_low: float = 0.05
+    gamma_high: float = 0.95
+
+    feedback_interval: float = 0.030
+    feedback_window: int = 5
+
+    #: Base round-trip propagation delay (bar-bell default: 40 ms).
+    rtt_s: float = 0.040
+    #: One-way propagation from a source to the first PELS router
+    #: (bar-bell: the access link), before any per-flow extra delay.
+    source_router_delay_s: float = 0.005
+    #: Per-flow extra one-way access delay (heterogeneous-RTT runs).
+    extra_delay: Dict[int, float] = field(default_factory=dict)
+    #: Per-flow start times in seconds; defaults to all starting at 0.
+    start_times: Optional[List[float]] = None
+    #: ``(router, start_s, stop_s, rate_bps)`` PELS-colored constant
+    #: interferers: counted in that router's arrival (and every router
+    #: downstream of it) but never adapting — the bottleneck-shift tool.
+    interferers: Tuple[Tuple[int, float, float, float], ...] = ()
+
+    #: Series sampling period (seconds); epochs in between are advanced
+    #: but not recorded.
+    sample_interval: float = 0.30
+    #: Record per-flow rate series (None = auto: only when n_flows is
+    #: small enough that the memory cost is negligible).
+    record_flows: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.n_flows < 1:
+            raise ValueError("need at least one flow")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self.capacities_bps:
+            raise ValueError("need at least one router capacity")
+        if any(c <= 0 for c in self.capacities_bps):
+            raise ValueError("capacities must be positive")
+        if self.alpha_bps <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0 < self.beta < 2:
+            raise ValueError("Lemma 5: MKC is stable iff 0 < beta < 2")
+        if not 0 < self.sigma < 2:
+            raise ValueError("Lemma 2: gamma control is stable iff "
+                             "0 < sigma < 2")
+        if not 0 < self.p_thr <= 1:
+            raise ValueError("p_thr must be in (0, 1]")
+        if not 0 <= self.gamma_low <= self.gamma0 <= self.gamma_high <= 1:
+            raise ValueError("need gamma_low <= gamma0 <= gamma_high in "
+                             "[0, 1]")
+        if self.feedback_interval <= 0:
+            raise ValueError("feedback interval must be positive")
+        if self.feedback_window < 1:
+            raise ValueError("window must cover at least one interval")
+        if not 0 < self.min_rate_bps <= self.initial_rate_bps \
+                <= self.max_rate_bps:
+            raise ValueError("need 0 < min <= initial <= max rate")
+        if self.start_times is not None \
+                and len(self.start_times) != self.n_flows:
+            raise ValueError("start_times must have one entry per flow")
+        n_routers = len(self.capacities_bps)
+        for router, start, stop, rate in self.interferers:
+            if not 0 <= router < n_routers:
+                raise ValueError(f"interferer router {router} out of range")
+            if stop < start:
+                raise ValueError("interferer stops before it starts")
+            if rate <= 0:
+                raise ValueError("interferer rate must be positive")
+
+    # -- derived epoch geometry --------------------------------------------
+
+    def rtt_of(self, flow: int) -> float:
+        """Round-trip propagation delay of one flow."""
+        return self.rtt_s + 2 * self.extra_delay.get(flow, 0.0)
+
+    def feedback_delay_s(self, flow: int) -> float:
+        """Age of loss samples reaching a flow: round trip plus the
+        router's windowed-measurement lag (same estimate the packet
+        assembly hands to :class:`repro.cc.mkc.MkcController`)."""
+        return self.rtt_of(flow) + self.feedback_interval \
+            * (self.feedback_window + 1) / 2
+
+    def owd_up_s(self, flow: int) -> float:
+        """One-way propagation from the source to the first router."""
+        return self.source_router_delay_s + self.extra_delay.get(flow, 0.0)
+
+    def forward_epochs(self, flow: int) -> int:
+        """Epochs before a rate change is visible in router arrivals."""
+        return int(self.owd_up_s(flow) / self.feedback_interval + 0.5)
+
+    def backward_epochs(self, flow: int) -> int:
+        """Age (in epochs, at least 1) of the freshest label a flow can
+        act on: router -> sink -> ACK -> source transit."""
+        transit = self.rtt_of(flow) - self.owd_up_s(flow)
+        return max(1, int(transit / self.feedback_interval + 0.5))
+
+    def ref_delay_epochs(self, flow: int) -> int:
+        """``D_i`` of Eq. 8: the self-reference reaches back to the
+        rate that generated the label now arriving (forward transit to
+        the router plus the label's journey back)."""
+        return self.forward_epochs(flow) + self.backward_epochs(flow)
+
+    def start_epoch(self, flow: int) -> int:
+        """First epoch during which the flow is sending."""
+        start = 0.0 if self.start_times is None else self.start_times[flow]
+        return int(start / self.feedback_interval) + 1
+
+    def n_epochs(self) -> int:
+        return max(1, int(round(self.duration / self.feedback_interval)))
+
+    def sample_stride(self) -> int:
+        return max(1, int(round(self.sample_interval
+                                / self.feedback_interval)))
+
+    def should_record_flows(self) -> bool:
+        if self.record_flows is not None:
+            return self.record_flows
+        return self.n_flows <= 64
+
+    # -- closed-form expectations (Lemmas 4-6) -----------------------------
+
+    def bottleneck_capacity_bps(self) -> float:
+        """Capacity of the tightest router (max-min bottleneck)."""
+        return min(self.capacities_bps)
+
+    def lemma6_rate_bps(self) -> float:
+        """Stationary per-flow rate ``r* = C/N + alpha/beta`` (clamped
+        to the scenario's operational rate band)."""
+        r_star = mkc_stationary_rate(self.bottleneck_capacity_bps(),
+                                     self.n_flows, self.alpha_bps, self.beta)
+        return min(self.max_rate_bps, max(self.min_rate_bps, r_star))
+
+    def equilibrium_loss(self) -> float:
+        """Eq. 9 equilibrium virtual loss at the Lemma 6 rates."""
+        return mkc_equilibrium_loss(self.bottleneck_capacity_bps(),
+                                    self.n_flows, self.alpha_bps, self.beta)
+
+    def expected_gamma(self) -> float:
+        """Clamped stationary red fraction ``gamma* = p*/p_thr``."""
+        return min(self.gamma_high,
+                   max(self.gamma_low, self.equilibrium_loss() / self.p_thr))

@@ -1,0 +1,83 @@
+"""Bridges between packet scenarios and their fluid twins.
+
+Cross-validation needs the two engines to integrate the *same* control
+problem: identical controller gains, feedback cadence and windowing,
+capacities seen through the PELS WRR share, rate clamps (including the
+FGS coding ceiling ``R_max``) and per-flow delays.  These builders
+derive a :class:`repro.fluid.scenario.FluidScenario` from the packet
+assemblies so tests and benchmarks can't drift the two apart by
+editing one side only.
+
+The fluid model abstracts away what the packet simulator resolves
+packet by packet: cross traffic exists only as the WRR share it leaves
+to PELS, queues never physically drop (Eq. 11's loss is virtual), and
+sub-epoch timing (frame clocks, packetization) vanishes.  Equilibria
+match (Lemma 6 has no packet-level term); transients agree to within
+the epoch quantization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .scenario import FluidScenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.multihop import MultiHopScenario
+    from ..core.session import PelsScenario
+
+__all__ = ["fluid_twin_of_session", "fluid_twin_of_multihop"]
+
+
+def fluid_twin_of_session(scenario: "PelsScenario") -> FluidScenario:
+    """Fluid twin of a bar-bell :class:`PelsScenario` (single hop)."""
+    top = scenario.topology
+    base_rtt = 2 * (2 * top.access_delay + top.bottleneck_delay)
+    start_times = None if scenario.start_times is None \
+        else list(scenario.start_times)
+    return FluidScenario(
+        n_flows=scenario.n_flows,
+        duration=scenario.duration,
+        capacities_bps=(scenario.pels_capacity_bps(),),
+        alpha_bps=scenario.alpha_bps,
+        beta=scenario.beta,
+        initial_rate_bps=scenario.initial_rate_bps,
+        max_rate_bps=min(scenario.max_rate_bps, scenario.fgs.max_rate_bps),
+        sigma=scenario.sigma,
+        p_thr=scenario.p_thr,
+        gamma0=scenario.gamma0,
+        gamma_low=scenario.gamma_low,
+        gamma_high=scenario.gamma_high,
+        feedback_interval=scenario.feedback_interval,
+        feedback_window=scenario.feedback_window,
+        rtt_s=base_rtt,
+        source_router_delay_s=top.access_delay,
+        extra_delay=dict(top.extra_access_delay),
+        start_times=start_times,
+        sample_interval=scenario.sample_interval,
+    )
+
+
+def fluid_twin_of_multihop(scenario: "MultiHopScenario") -> FluidScenario:
+    """Fluid twin of a chain :class:`MultiHopScenario` (per-hop AQM)."""
+    from ..sim.chain import ChainConfig
+    n_hops = len(scenario.hop_bps)
+    chain = ChainConfig(hop_bps=tuple(scenario.hop_bps))
+    base_rtt = chain.rtt()
+    return FluidScenario(
+        n_flows=scenario.n_flows,
+        duration=scenario.duration,
+        capacities_bps=tuple(scenario.pels_capacity_of(i)
+                             for i in range(n_hops)),
+        alpha_bps=scenario.alpha_bps,
+        beta=scenario.beta,
+        initial_rate_bps=scenario.initial_rate_bps,
+        max_rate_bps=scenario.fgs.max_rate_bps,
+        sigma=scenario.sigma,
+        p_thr=scenario.p_thr,
+        feedback_interval=scenario.feedback_interval,
+        feedback_window=scenario.feedback_window,
+        rtt_s=base_rtt,
+        source_router_delay_s=chain.access_delay,
+        interferers=tuple(scenario.pels_interferers),
+    )

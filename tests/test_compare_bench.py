@@ -1,0 +1,98 @@
+"""Tests for benchmarks/compare_bench.py (the regression guardrail)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parent.parent / "benchmarks"
+    / "compare_bench.py")
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def bench_json(path: Path, medians: dict) -> str:
+    payload = {"benchmarks": [
+        {"fullname": name, "name": name.rsplit("::", 1)[-1],
+         "stats": {"median": median}}
+        for name, median in medians.items()]}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompareBench:
+    def test_identical_runs_pass(self, tmp_path, capsys):
+        base = bench_json(tmp_path / "a.json", {"t::x": 0.5, "t::y": 1.0})
+        assert compare_bench.main([base, base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_fails_with_exit_1(self, tmp_path, capsys):
+        base = bench_json(tmp_path / "a.json", {"t::x": 0.5, "t::y": 1.0})
+        cur = bench_json(tmp_path / "b.json", {"t::x": 0.5, "t::y": 1.3})
+        assert compare_bench.main([base, cur]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "t::y" in out
+
+    def test_threshold_is_respected(self, tmp_path):
+        base = bench_json(tmp_path / "a.json", {"t::x": 1.0})
+        cur = bench_json(tmp_path / "b.json", {"t::x": 1.10})
+        assert compare_bench.main([base, cur]) == 0  # default 15%
+        assert compare_bench.main(
+            [base, cur, "--threshold", "0.05"]) == 1
+
+    def test_speedups_never_fail(self, tmp_path):
+        base = bench_json(tmp_path / "a.json", {"t::x": 1.0})
+        cur = bench_json(tmp_path / "b.json", {"t::x": 0.2})
+        assert compare_bench.main([base, cur]) == 0
+
+    def test_unmatched_benchmarks_reported_not_failed(self, tmp_path,
+                                                      capsys):
+        base = bench_json(tmp_path / "a.json", {"t::gone": 1.0,
+                                                "t::kept": 1.0})
+        cur = bench_json(tmp_path / "b.json", {"t::kept": 1.0,
+                                               "t::new": 9.0})
+        assert compare_bench.main([base, cur]) == 0
+        out = capsys.readouterr().out
+        assert "missing from current run" in out
+        assert "new benchmark, no baseline" in out
+
+    def test_missing_file_exits_2(self, tmp_path):
+        base = bench_json(tmp_path / "a.json", {"t::x": 1.0})
+        with pytest.raises(SystemExit) as exc:
+            compare_bench.main([base, str(tmp_path / "nope.json")])
+        assert exc.value.code == 2
+
+    def test_malformed_json_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        base = bench_json(tmp_path / "a.json", {"t::x": 1.0})
+        with pytest.raises(SystemExit) as exc:
+            compare_bench.main([str(bad), base])
+        assert exc.value.code == 2
+
+    def test_non_benchmark_json_exits_2(self, tmp_path):
+        odd = tmp_path / "odd.json"
+        odd.write_text(json.dumps({"artifacts": []}))
+        base = bench_json(tmp_path / "a.json", {"t::x": 1.0})
+        with pytest.raises(SystemExit) as exc:
+            compare_bench.main([base, str(odd)])
+        assert exc.value.code == 2
+
+    def test_negative_threshold_rejected(self, tmp_path):
+        base = bench_json(tmp_path / "a.json", {"t::x": 1.0})
+        with pytest.raises(SystemExit) as exc:
+            compare_bench.main([base, base, "--threshold", "-1"])
+        assert exc.value.code == 2
+
+    def test_real_committed_baseline_parses(self):
+        baseline = Path(__file__).resolve().parent.parent / "benchmarks" \
+            / "baselines" / "fluid.json"
+        medians = compare_bench._load_medians(str(baseline))
+        assert any("fluid" in name for name in medians)
+        assert all(m > 0 for m in medians.values())

@@ -1,0 +1,123 @@
+"""CLI-path coverage for the experiment runner.
+
+Pins the runner's contract surface: byte-identical stdout between
+serial and ``--jobs`` runs, ``--profile`` forcing serial mode,
+comma-separated ``--only`` selection, exit code 2 with near-miss
+suggestions on unknown artifacts, and whole-series ``--plot``
+validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import (_is_plottable, _parse_only, _registry,
+                                      main, run_all)
+
+
+class TestRegistry:
+    def test_registry_is_memoized(self):
+        assert _registry() is _registry()
+
+    def test_registry_covers_experiments_and_ablations(self):
+        registry = _registry()
+        assert set(runner.EXPERIMENTS) <= set(registry)
+        assert "A1" in registry
+        assert "S1" in registry
+
+
+class TestOnlySelection:
+    def test_multi_select_keeps_user_order(self):
+        results = run_all(fast=True, only="A1,F2")
+        assert [r.experiment_id for r in results] == ["A1", "F2"]
+
+    def test_multi_select_dedupes_and_ignores_spaces(self):
+        known, unknown = _parse_only(" f2 , a1 ,F2,")
+        assert known == ["F2", "A1"]
+        assert unknown == []
+
+    def test_any_unknown_key_selects_nothing(self):
+        # Running the valid half of a typo'd list would report success
+        # for the wrong set.
+        assert run_all(fast=True, only="F2,BOGUS") == []
+
+    def test_unknown_key_exits_2_with_suggestion(self, capsys):
+        assert main(["--fast", "--only", "S9"]) == 2
+        err = capsys.readouterr().err
+        assert "no experiment matches 'S9'" in err
+        assert "did you mean" in err
+        assert "S1" in err
+
+    def test_unknown_key_without_near_miss_lists_registry(self, capsys):
+        assert main(["--fast", "--only", "QQQQQ"]) == 2
+        err = capsys.readouterr().err
+        assert "no experiment matches 'QQQQQ'" in err
+        assert "'T1'" in err
+
+
+class TestJobsByteIdentical:
+    @pytest.mark.slow
+    def test_jobs_stdout_matches_serial(self, capsys):
+        """Serial and --jobs N must render byte-identical reports,
+        including the fluid S1 family."""
+        argv = ["--fast", "--only", "A1,F2,S1"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "== S1:" in serial
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--jobs", "0", "--only", "F2"])
+        assert exc.value.code == 2
+
+
+class TestProfileForcesSerial:
+    def test_profile_overrides_jobs(self, capsys, tmp_path):
+        out = tmp_path / "prof.pstats"
+        assert main(["--fast", "--only", "F2", "--jobs", "4",
+                     "--profile", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "profiling runs serially; ignoring --jobs" in err
+        assert out.exists()
+
+
+class TestIsPlottable:
+    def test_accepts_numeric_series(self):
+        assert _is_plottable([1, 2.5, 3])
+        assert _is_plottable(([0.0, 1.0], [5, 6]))
+
+    def test_rejects_poison_beyond_first_three(self):
+        # The old check sampled only the head of the series.
+        assert not _is_plottable([1, 2, 3, "boom"])
+        assert not _is_plottable(([0, 1, 2, 3], [1, 2, 3, None]))
+
+    def test_rejects_poisoned_times(self):
+        assert not _is_plottable((["a", "b"], [1, 2]))
+
+    def test_rejects_length_mismatch_and_bools(self):
+        assert not _is_plottable(([0, 1, 2], [1, 2]))
+        assert not _is_plottable([True, False, True])
+
+    def test_rejects_empty_and_non_iterable(self):
+        assert not _is_plottable([])
+        assert not _is_plottable(((), ()))
+        assert not _is_plottable(42)
+
+    def test_plot_skips_mixed_series_without_crashing(self, capsys,
+                                                      monkeypatch):
+        def fake_run(fast=False):
+            result = ExperimentResult("ZZ", "poisoned series")
+            result.series["bad"] = ([0, 1, 2], [1.0, "oops", 3.0])
+            result.series["good"] = ([0, 1, 2], [1.0, 2.0, 3.0])
+            return result
+
+        monkeypatch.setattr(runner, "_REGISTRY", {"ZZ": fake_run})
+        assert main(["--fast", "--only", "ZZ", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "good" in out
+        assert "bad" not in out
