@@ -42,8 +42,35 @@ class RateController:
         return min(self.max_rate_bps, max(self.min_rate_bps, rate))
 
     def reset(self, rate_bps: float) -> None:
-        """Restart from a given rate (used when a flow re-joins)."""
+        """Restart from a given rate (used when a flow re-joins, and by
+        the feedback-starvation recovery path after a router restart).
+
+        Clears subclass state via :meth:`_reset_state` — without that,
+        a history-keeping controller (MKC's delayed-rate ring buffer)
+        would replay pre-reset rates into its first post-reset update.
+        """
         self.rate_bps = self._clamp(rate_bps)
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        """Hook for subclasses holding state beyond ``rate_bps``."""
+
+    def blind_decay(self, factor: float, now: float) -> float:
+        """Multiplicative rate backoff applied while feedback-starved.
+
+        A source that has heard no fresh feedback for longer than its
+        timeout cannot tell overload from a dead path, so it backs off
+        exponentially (one ``factor`` step per blind interval) instead
+        of holding — or worse, growing — a rate nobody acknowledged.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError("blind decay factor must be in (0, 1]")
+        self.rate_bps = self._clamp(self.rate_bps * factor)
+        self._record_rate(now)
+        return self.rate_bps
+
+    def _record_rate(self, now: float) -> None:
+        """Hook for controllers that keep a rate history (see MKC)."""
 
 
 _REGISTRY: Dict[str, Type[RateController]] = {}

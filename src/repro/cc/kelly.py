@@ -37,6 +37,9 @@ class KellyController(RateController):
         self.beta_per_s = beta_per_s
         self._last_update: float | None = None
 
+    def _reset_state(self) -> None:
+        self._last_update = None
+
     def on_feedback(self, loss: float, now: float) -> float:
         if self._last_update is None:
             dt = 0.0

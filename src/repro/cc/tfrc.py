@@ -42,6 +42,9 @@ class TfrcController(RateController):
         self.loss_smoothing = loss_smoothing
         self.smoothed_loss = 0.0
 
+    def _reset_state(self) -> None:
+        self.smoothed_loss = 0.0
+
     def on_feedback(self, loss: float, now: float) -> float:
         w = self.loss_smoothing
         self.smoothed_loss = (1 - w) * self.smoothed_loss + w * max(0.0, loss)

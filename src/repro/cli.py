@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-ablations", action="store_true")
     exp.add_argument("--jobs", type=int, default=1, metavar="N")
     exp.add_argument("--json", default="")
+    exp.add_argument("--timeout", type=float, default=None, metavar="S")
+    exp.add_argument("--retries", type=int, default=0, metavar="N")
+    exp.add_argument("--retry-backoff", type=float, default=0.5, metavar="S")
+    exp.add_argument("--out-dir", default="", metavar="DIR")
+    exp.add_argument("--resume", action="store_true")
 
     ana = sub.add_parser("analyze",
                          help="closed-form values (Lemmas 1-6)")
@@ -286,6 +291,16 @@ def _dispatch(args) -> int:
             forwarded.extend(["--jobs", str(args.jobs)])
         if args.json:
             forwarded.extend(["--json", args.json])
+        if args.timeout is not None:
+            forwarded.extend(["--timeout", str(args.timeout)])
+        if args.retries:
+            forwarded.extend(["--retries", str(args.retries)])
+        if args.retry_backoff != 0.5:
+            forwarded.extend(["--retry-backoff", str(args.retry_backoff)])
+        if args.out_dir:
+            forwarded.extend(["--out-dir", args.out_dir])
+        if args.resume:
+            forwarded.append("--resume")
         return experiments_main(forwarded)
     raise AssertionError(f"unhandled command {args.command}")
 

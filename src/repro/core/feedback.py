@@ -71,6 +71,7 @@ class RouterFeedback(Process):
             else sim.next_id("router-feedback", start=1)
         self.epoch = 0
         self.loss = 0.0
+        self.restarts = 0
         self._byte_counter = 0
         # One label object per epoch, shared by every packet stamped in
         # that epoch (stamp_feedback copies on override, so sharing is
@@ -100,6 +101,27 @@ class RouterFeedback(Process):
         self.loss_series.record(self.sim.now, self.loss)
         self.rate_series.record(self.sim.now, rate)
 
+    def restart(self, new_router_id: Optional[int] = None) -> None:
+        """Simulate a router crash/reboot: all feedback state is lost.
+
+        The byte counter, rate window, loss estimate and — crucially —
+        the epoch counter ``z`` reset to their boot values, exactly the
+        scenario the paper's ``(router_id, z)`` freshness scheme exists
+        to survive: sources holding a large pre-crash epoch discard the
+        reborn router's small-``z`` labels as stale until their own
+        starvation handling re-synchronizes (see PelsSource).  Passing
+        ``new_router_id`` models a route change to a different box
+        instead; sources then adopt the new clock immediately.
+        """
+        if new_router_id is not None:
+            self.router_id = new_router_id
+        self.epoch = 0
+        self.loss = 0.0
+        self._byte_counter = 0
+        self._window.clear()
+        self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
+        self.restarts += 1
+
     def stop(self) -> None:
         self._timer.stop()
 
@@ -117,6 +139,11 @@ class FeedbackTracker:
         self.epoch = -1
         self.accepted = 0
         self.rejected = 0
+        #: Rejections where the label's epoch was strictly *older* than
+        #: the one already reacted to — genuinely stale feedback (ACK
+        #: reordering, or a restarted router whose epoch counter was
+        #: wiped), as opposed to same-epoch duplicates.
+        self.stale_discarded = 0
 
     def accept(self, label: Optional[FeedbackLabel]) -> Optional[float]:
         if label is None:
@@ -132,4 +159,19 @@ class FeedbackTracker:
             self.accepted += 1
             return label.loss
         self.rejected += 1
+        if label.epoch < self.epoch:
+            self.stale_discarded += 1
         return None
+
+    def reset(self) -> None:
+        """Forget the tracked ``(router_id, epoch)`` clock.
+
+        The feedback-starvation recovery path calls this: a router that
+        rebooted re-counts epochs from zero, so its labels would stay
+        "stale" for as long as the pre-crash epoch was large.  After a
+        reset the next label — whatever its epoch — is accepted fresh.
+        The discard/accept counters survive; they are the evidence the
+        chaos experiments assert on.
+        """
+        self.router_id = None
+        self.epoch = -1

@@ -49,6 +49,9 @@ class MultiHopScenario:
     p_thr: float = 0.75
     feedback_interval: float = 0.030
     feedback_window: int = 5
+    #: Feedback-starvation timeout (None disables; see PelsScenario).
+    feedback_timeout: Optional[float] = None
+    blind_backoff: float = 0.85
     fgs: FgsConfig = field(default_factory=lambda: FgsConfig(
         frame_packets=256))
     queue: PelsQueueConfig = field(default_factory=PelsQueueConfig)
@@ -109,7 +112,9 @@ class MultiHopPelsSimulation:
                 gamma_controller=GammaController(sigma=s.sigma,
                                                  p_thr=s.p_thr),
                 fgs_config=s.fgs,
-                start_time=(flow * 0.618) % 1.0 * s.fgs.frame_interval)
+                start_time=(flow * 0.618) % 1.0 * s.fgs.frame_interval,
+                feedback_timeout=s.feedback_timeout,
+                blind_backoff=s.blind_backoff)
             sink = PelsSink(self.sim, dst_host, flow_id=flow, source=source,
                             ack_delay=backward)
             self.sources.append(source)

@@ -32,6 +32,13 @@ class FlowReport:
     mean_utility: float
     base_intact_ratio: float
     delays_ms: Dict[str, float]
+    #: Robustness counters (fault/chaos scenarios): labels discarded as
+    #: genuinely stale (older epoch than already reacted to), frame
+    #: intervals spent feedback-blind, and distinct blind episodes
+    #: (each freezes gamma and starts the blind rate decay).
+    stale_discarded: int = 0
+    blind_intervals: int = 0
+    rate_freezes: int = 0
 
 
 @dataclass
@@ -83,6 +90,13 @@ class SessionReport:
                 f"{flow.delays_ms.get('green', float('nan')):.0f}/"
                 f"{flow.delays_ms.get('yellow', float('nan')):.0f}/"
                 f"{flow.delays_ms.get('red', float('nan')):.0f}")
+            # Robustness line only for runs that actually degraded, so
+            # fault-free reports render exactly as before.
+            if flow.blind_intervals or flow.rate_freezes:
+                lines.append(
+                    f"          stale={flow.stale_discarded} "
+                    f"blind={flow.blind_intervals} "
+                    f"freezes={flow.rate_freezes}")
         lines.append(f"  fairness: {self.fairness():.3f}")
         return "\n".join(lines)
 
@@ -132,6 +146,9 @@ def build_report(sim: PelsSimulation,
             base_intact_ratio=statistics.mean(intact) if intact
             else float("nan"),
             delays_ms=delays,
+            stale_discarded=source.tracker.stale_discarded,
+            blind_intervals=source.blind_intervals,
+            rate_freezes=source.rate_freezes,
         ))
 
     return SessionReport(

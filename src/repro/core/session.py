@@ -60,6 +60,13 @@ class PelsScenario:
 
     #: Random reverse-path ACK loss probability (robustness tests).
     ack_loss_rate: float = 0.0
+    #: Feedback-starvation timeout for the sources (seconds).  None —
+    #: the default — disables the graceful-degradation path entirely,
+    #: keeping legacy runs event-for-event identical; chaos scenarios
+    #: set it so flows survive router restarts and link outages.
+    feedback_timeout: Optional[float] = None
+    #: Per-frame multiplicative rate decay while a source is blind.
+    blind_backoff: float = 0.85
     #: Record (frame_id, arrival, color) per packet at every sink
     #: (needed by the playback-deadline analysis; off by default).
     record_arrivals: bool = False
@@ -179,7 +186,9 @@ class PelsSimulation:
                 self.sim, src_host, dst_host, flow_id=flow,
                 controller=controller, gamma_controller=gamma,
                 fgs_config=s.fgs, marking_policy=policy,
-                start_time=s.start_time_of(flow))
+                start_time=s.start_time_of(flow),
+                feedback_timeout=s.feedback_timeout,
+                blind_backoff=s.blind_backoff)
             sink = PelsSink(self.sim, dst_host, flow_id=flow, source=source,
                             ack_delay=backward_delay,
                             ack_loss_rate=s.ack_loss_rate,

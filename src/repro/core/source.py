@@ -13,6 +13,20 @@ deadline, which is exactly the FGS truncation semantics.
 Feedback arrives in ACKs; the freshness tracker admits each router
 epoch once, and a fresh loss sample drives both the rate controller
 (Eq. 8) and the gamma controller (Eq. 4).
+
+When ``feedback_timeout`` is set the source also degrades gracefully
+under feedback starvation (dead reverse path, link outage, or a router
+restart whose wiped epoch counter makes every label look stale): at
+each frame boundary with no fresh feedback for longer than the timeout
+it enters a *blind* interval — the rate decays exponentially
+(``blind_backoff`` per frame), gamma is frozen at its last value, and
+the freshness tracker's epoch clock is dropped so a reborn router's
+small epochs can be re-adopted.  The first fresh sample ends the
+episode: the controller history is rebased on the decayed rate (a slow
+restart — MKC's delayed-rate buffer must not replay pre-fault rates)
+and normal closed-loop operation resumes.  The ``blind_intervals`` /
+``rate_freezes`` counters, with the tracker's ``stale_discarded``,
+surface all of this in session reports.
 """
 
 from __future__ import annotations
@@ -41,7 +55,13 @@ class PelsSource:
                  fgs_config: Optional[FgsConfig] = None,
                  marking_policy: Optional[MarkingPolicy] = None,
                  start_time: float = 0.0,
-                 stop_time: Optional[float] = None) -> None:
+                 stop_time: Optional[float] = None,
+                 feedback_timeout: Optional[float] = None,
+                 blind_backoff: float = 0.85) -> None:
+        if feedback_timeout is not None and feedback_timeout <= 0:
+            raise ValueError("feedback timeout must be positive")
+        if not 0 < blind_backoff <= 1:
+            raise ValueError("blind backoff must be in (0, 1]")
         self.sim = sim
         self.host = host
         self.dst_host = dst_host
@@ -52,6 +72,18 @@ class PelsSource:
         self.marking_policy = marking_policy or PelsMarkingPolicy(self.fgs_config)
         self.start_time = start_time
         self.stop_time = stop_time
+        #: Feedback-starvation handling (None disables it, the default:
+        #: legacy runs are unchanged event for event).
+        self.feedback_timeout = feedback_timeout
+        self.blind_backoff = blind_backoff
+        self.blind = False
+        #: Frame intervals spent without usable feedback.
+        self.blind_intervals = 0
+        #: Distinct blind episodes (each freezes gamma + starts decay).
+        self.rate_freezes = 0
+        #: Blind episodes ended by a fresh feedback sample.
+        self.recoveries = 0
+        self._last_feedback: Optional[float] = None
 
         self.tracker = FeedbackTracker()
         self.rate_series = TimeSeries(f"rate-flow{flow_id}")
@@ -91,6 +123,8 @@ class PelsSource:
             self._stopped = True
             return
         self._finalize_frame_log()
+        if self.feedback_timeout is not None:
+            self._check_starvation()
         rate = self.controller.rate_bps
         gamma = self.gamma_controller.gamma
         self.frame_id += 1
@@ -109,6 +143,27 @@ class PelsSource:
     def _finalize_frame_log(self) -> None:
         if self.frame_id >= 0:
             self.frame_log[self.frame_id] = tuple(self._counts)  # type: ignore[assignment]
+
+    def _check_starvation(self) -> None:
+        """Frame-boundary watchdog: decay blind, re-sync the tracker.
+
+        Runs on the frame clock rather than a dedicated timer so the
+        starvation path adds zero events to the healthy hot path.
+        """
+        now = self.sim.now
+        last = self._last_feedback
+        if last is None:
+            last = self.start_time
+        if now - last < self.feedback_timeout:
+            return
+        if not self.blind:
+            self.blind = True
+            self.rate_freezes += 1
+            # A restarted bottleneck re-counts epochs from zero; only
+            # dropping our epoch clock lets its labels through again.
+            self.tracker.reset()
+        self.blind_intervals += 1
+        self.controller.blind_decay(self.blind_backoff, now)
 
     def _emit_next(self, generation: int) -> None:
         """Emit the next planned packet, then pace at the current rate."""
@@ -154,6 +209,15 @@ class PelsSource:
         if loss is None:
             return
         now = self.sim.now
+        self._last_feedback = now
+        if self.blind:
+            # Recovery: rebase the controller history on the decayed
+            # rate (slow restart) and resume closed-loop control.  The
+            # pre-fault rates in a delayed-rate buffer never generated
+            # the loss that is about to arrive.
+            self.blind = False
+            self.recoveries += 1
+            self.controller.reset(self.controller.rate_bps)
         self.controller.on_feedback(loss, now)
         self.gamma_controller.update(loss)
         self.loss_series.record(now, loss)
@@ -162,6 +226,23 @@ class PelsSource:
         """Terminate the flow (no further packets are emitted)."""
         self._stopped = True
         self._finalize_frame_log()
+
+    def restart(self, rate_bps: Optional[float] = None,
+                stop_time: Optional[float] = None) -> None:
+        """Re-join a stopped flow (mid-run churn).
+
+        Resets the controller (clearing any rate history) to
+        ``rate_bps`` — default: the rate it last had — clears the
+        starvation state, and restarts the frame clock at the current
+        simulation time.  ``stop_time`` optionally arms a new departure.
+        """
+        self._stopped = False
+        self.stop_time = stop_time
+        self.blind = False
+        self._last_feedback = self.sim.now
+        self.controller.reset(rate_bps if rate_bps is not None
+                              else self.controller.rate_bps)
+        self.sim.call_later(0.0, self._send_frame_cb)
 
     @property
     def rate_bps(self) -> float:

@@ -15,7 +15,8 @@ from typing import Iterable
 
 from .common import ExperimentResult
 
-__all__ = ["result_to_dict", "write_json", "write_series_csv"]
+__all__ = ["result_to_dict", "result_from_dict", "write_json",
+           "write_series_csv"]
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -30,6 +31,27 @@ def result_to_dict(result: ExperimentResult) -> dict:
                    for name, series in result.series.items()},
         "wall_time": result.wall_time,
     }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild a result written by :func:`result_to_dict`.
+
+    The runner's ``--resume`` mode uses this to re-render previously
+    completed experiments without re-running them; the round trip is
+    render-exact (tables/notes are stored as final text).
+    """
+    result = ExperimentResult(payload["experiment_id"], payload["title"])
+    result.tables = [str(t) for t in payload.get("tables", [])]
+    result.notes = [str(n) for n in payload.get("notes", [])]
+    result.metrics = dict(payload.get("metrics", {}))
+    result.wall_time = float(payload.get("wall_time", 0.0))
+    for name, series in payload.get("series", {}).items():
+        if isinstance(series, dict) and {"times", "values"} <= set(series):
+            result.series[name] = (list(series["times"]),
+                                   list(series["values"]))
+        else:
+            result.series[name] = list(series)
+    return result
 
 
 def _serializable(series) -> object:

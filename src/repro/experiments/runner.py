@@ -8,11 +8,21 @@ Usage::
     python -m repro.experiments --only T1,F7,S1  # several artifacts
     python -m repro.experiments --jobs 4       # experiments in parallel
     python -m repro.experiments --profile out.pstats   # cProfile dump
+    python -m repro.experiments --timeout 600 --retries 2   # hardened
+    python -m repro.experiments --out-dir runs/ --resume    # restartable
 
 Experiments are independent (each builds its own seeded simulator), so
 ``--jobs N`` farms them out to a process pool; results come back in the
 same deterministic order as a serial run.  Per-experiment wall times go
 to stderr so stdout stays byte-stable across hosts.
+
+The runner is hardened against misbehaving experiments: a worker that
+raises yields a structured FAILED artifact (and exit code 1) instead of
+killing the sweep; transient errors retry with exponential backoff
+(``--retries``); ``--timeout`` runs each experiment in a disposable
+child process that is terminated on expiry, which also isolates hard
+crashes; ``--out-dir`` checkpoints each artifact as it completes and
+``--resume`` skips artifacts already checkpointed there.
 """
 
 from __future__ import annotations
@@ -20,9 +30,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 from typing import Callable, Dict, List, Optional, Tuple
 
-from . import (ablations, bursts_exp, closed_loop_be, deadlines,
+from pathlib import Path
+
+from . import (ablations, bursts_exp, chaos, closed_loop_be, deadlines,
                fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
                heterogeneous, multihop, rd_smoothing, scaling, table1)
 from .common import ExperimentResult
@@ -45,6 +58,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "X6": deadlines.run,
     "X7": fec_comparison.run,
     "S1": scaling.run,
+    "R1": chaos.run,
 }
 
 _REGISTRY: Optional[Dict[str, Callable[..., ExperimentResult]]] = None
@@ -113,32 +127,209 @@ def _unknown_key_message(only: str) -> str:
     return "; ".join(parts)
 
 
-def _run_one(key: str, fast: bool) -> ExperimentResult:
-    """Execute one experiment and stamp its wall time.
+#: Exception classes treated as transient worker failures: these are
+#: environmental (fd exhaustion, pipe breakage, resource pressure), so
+#: a bounded retry with backoff is worth it.  Everything else fails the
+#: experiment deterministically on the first attempt.
+TRANSIENT_ERRORS = (OSError, EOFError, MemoryError, TimeoutError)
 
-    Module-level so it pickles for the ``--jobs`` process pool.
+
+def failed(result: ExperimentResult) -> bool:
+    """Whether a result is a structured failure entry."""
+    return result.metrics.get("failed", 0.0) == 1.0
+
+
+def _failure_result(key: str, kind: str, message: str,
+                    attempts: int, wall_time: float) -> ExperimentResult:
+    """Structured failure entry: renders like any artifact, never raises.
+
+    ``metrics["failed"] == 1.0`` is the machine-readable marker (the
+    runner's exit code and ``--resume`` both key off it).
     """
-    t0 = time.perf_counter()
-    result = _registry()[key](fast=fast)
-    result.wall_time = time.perf_counter() - t0
+    result = ExperimentResult(key, f"FAILED ({kind})")
+    result.metrics["failed"] = 1.0
+    result.metrics["attempts"] = float(attempts)
+    result.note(f"{kind} after {attempts} attempt(s): {message}")
+    result.wall_time = wall_time
     return result
 
 
+def _run_one(key: str, fast: bool, retries: int = 0,
+             backoff: float = 0.5) -> ExperimentResult:
+    """Execute one experiment; crash-isolated, with bounded retry.
+
+    Module-level so it pickles for the ``--jobs`` process pool.  Any
+    exception becomes a structured failure entry rather than
+    propagating — one failing experiment must not abort the pool, and
+    serial and ``--jobs`` runs must report identically.  Transient
+    errors (see TRANSIENT_ERRORS) retry up to ``retries`` times with
+    exponential backoff.
+    """
+    t0 = time.perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = _registry()[key](fast=fast)
+            result.wall_time = time.perf_counter() - t0
+            return result
+        except KeyboardInterrupt:
+            raise
+        except TRANSIENT_ERRORS as exc:
+            if attempt > retries:
+                return _failure_result(
+                    key, "transient-error",
+                    f"{type(exc).__name__}: {exc}", attempt,
+                    time.perf_counter() - t0)
+            time.sleep(backoff * 2 ** (attempt - 1))
+        except Exception as exc:
+            tail = traceback.format_exc().strip().splitlines()[-3:]
+            return _failure_result(
+                key, "error", f"{type(exc).__name__}: {exc} | "
+                + " / ".join(tail), attempt, time.perf_counter() - t0)
+
+
+def _child_run(conn, key: str, fast: bool) -> None:
+    """Entry point of the per-experiment isolation process."""
+    try:
+        conn.send(_run_one(key, fast))
+    except BaseException as exc:  # pragma: no cover - belt and braces
+        try:
+            conn.send(_failure_result(key, "worker-error", repr(exc), 1, 0.0))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_isolated(key: str, fast: bool, timeout: Optional[float],
+                  retries: int = 0, backoff: float = 0.5) -> ExperimentResult:
+    """Run one experiment in a disposable child process.
+
+    The child is terminated when ``timeout`` expires, so a hung
+    experiment cannot stall the sweep; a child that dies without
+    reporting (hard crash, OOM kill) yields a structured failure entry
+    instead of breaking the pool.  Timeouts and crashes count as
+    transient and honour the same bounded retry as in-process errors.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    t0 = time.perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_child_run, args=(send, key, fast),
+                           daemon=True)
+        proc.start()
+        send.close()
+        failure: Optional[Tuple[str, str]] = None
+        if recv.poll(timeout):
+            try:
+                result = recv.recv()
+            except EOFError:
+                failure = ("worker-died",
+                           f"isolation process exited without a result "
+                           f"(exitcode {proc.exitcode})")
+            else:
+                recv.close()
+                proc.join()
+                result.wall_time = time.perf_counter() - t0
+                return result
+        else:
+            failure = ("timeout", f"exceeded {timeout:.0f}s wall clock")
+            proc.terminate()
+        recv.close()
+        proc.join()
+        if attempt > retries:
+            return _failure_result(key, failure[0], failure[1], attempt,
+                                   time.perf_counter() - t0)
+        time.sleep(backoff * 2 ** (attempt - 1))
+
+
+def _checkpoint_path(out_dir: str, key: str) -> Path:
+    return Path(out_dir) / f"{key}.json"
+
+
+def _load_checkpoint(out_dir: str, key: str) -> Optional[ExperimentResult]:
+    """A previously completed (non-failed) result, or None."""
+    import json
+
+    from .export import result_from_dict
+    path = _checkpoint_path(out_dir, key)
+    if not path.exists():
+        return None
+    try:
+        result = result_from_dict(json.loads(path.read_text()))
+    except (ValueError, KeyError, TypeError):
+        return None  # corrupt/partial checkpoint: re-run
+    return None if failed(result) else result
+
+
+def _write_checkpoint(out_dir: str, key: str,
+                      result: ExperimentResult) -> None:
+    import json
+
+    from .export import result_to_dict
+    path = _checkpoint_path(out_dir, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Write-then-rename so an interrupted run never leaves a truncated
+    # checkpoint that --resume would trip over.
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(result_to_dict(result), indent=2))
+    tmp.replace(path)
+
+
 def run_all(fast: bool = False, only: str = "",
-            with_ablations: bool = True, jobs: int = 1) -> List[ExperimentResult]:
+            with_ablations: bool = True, jobs: int = 1,
+            retries: int = 0, backoff: float = 0.5,
+            timeout: Optional[float] = None,
+            out_dir: str = "", resume: bool = False) -> List[ExperimentResult]:
     """Run the selected experiments and return their results.
 
     With ``jobs > 1`` the experiments run in a process pool; each one
     owns a seeded simulator, so results are bit-identical to a serial
-    run and are returned in the same order.
+    run and are returned in the same order.  A ``timeout`` switches
+    every experiment — serial or parallel — to a disposable isolation
+    process that is killed on expiry.  With ``out_dir`` each artifact
+    is checkpointed as it completes; ``resume`` skips artifacts already
+    checkpointed there (failed ones re-run).
     """
     keys = _select(only, with_ablations)
-    if jobs > 1 and len(keys) > 1:
+    done: Dict[str, ExperimentResult] = {}
+    if resume and out_dir:
+        for key in keys:
+            loaded = _load_checkpoint(out_dir, key)
+            if loaded is not None:
+                done[key] = loaded
+    todo = [key for key in keys if key not in done]
+
+    if timeout is not None:
+        # Thread pool driving per-experiment child processes: threads
+        # only babysit pipes, the work happens in the children.
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+            futures = [pool.submit(_run_isolated, key, fast, timeout,
+                                   retries, backoff) for key in todo]
+            fresh = [future.result() for future in futures]
+    elif jobs > 1 and len(todo) > 1:
         from concurrent.futures import ProcessPoolExecutor
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_one, key, fast) for key in keys]
-            return [future.result() for future in futures]
-    return [_run_one(key, fast) for key in keys]
+            futures = [pool.submit(_run_one, key, fast, retries, backoff)
+                       for key in todo]
+            fresh = [future.result() for future in futures]
+    else:
+        fresh = [_run_one(key, fast, retries, backoff) for key in todo]
+
+    # Index by the *submitted* key, not result.experiment_id — a
+    # misbehaving experiment may return a mislabeled result, and the
+    # sweep's bookkeeping must not depend on experiment correctness.
+    for key, result in zip(todo, fresh):
+        done[key] = result
+        if out_dir:
+            _write_checkpoint(out_dir, key, result)
+    return [done[key] for key in keys]
 
 
 def _is_numeric_series(values) -> bool:
@@ -196,9 +387,33 @@ def main(argv=None) -> int:
                         help="dump cProfile stats of the run to PATH "
                              "(implies --jobs 1) and print the top "
                              "functions to stderr")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="wall-clock budget per experiment; runs each "
+                             "one in a disposable child process that is "
+                             "killed on expiry")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry transient failures (and timeouts) up "
+                             "to N times with exponential backoff")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="S", help="base backoff delay between "
+                        "retry attempts (doubles each attempt)")
+    parser.add_argument("--out-dir", default="", metavar="DIR",
+                        help="checkpoint each artifact to DIR/<KEY>.json "
+                             "as it completes")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip artifacts already checkpointed in "
+                             "--out-dir (failed ones re-run)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.retries < 0:
+        parser.error("--retries must be non-negative")
+    if args.retry_backoff < 0:
+        parser.error("--retry-backoff must be non-negative")
+    if args.resume and not args.out_dir:
+        parser.error("--resume requires --out-dir")
 
     profiler = None
     jobs = args.jobs
@@ -213,7 +428,10 @@ def main(argv=None) -> int:
 
     t0 = time.time()
     results = run_all(fast=args.fast, only=args.only,
-                      with_ablations=not args.no_ablations, jobs=jobs)
+                      with_ablations=not args.no_ablations, jobs=jobs,
+                      retries=args.retries, backoff=args.retry_backoff,
+                      timeout=args.timeout, out_dir=args.out_dir,
+                      resume=args.resume)
     if profiler is not None:
         profiler.disable()
     if not results:
@@ -237,6 +455,7 @@ def main(argv=None) -> int:
     diverging = [
         note for result in results for note in result.notes
         if "DIVERGES" in note]
+    failures = [result for result in results if failed(result)]
     # Elapsed seconds go to stderr: stdout must stay byte-identical
     # between serial and --jobs runs (and across hosts).
     print(f"-- {len(results)} artifacts regenerated; "
@@ -244,6 +463,9 @@ def main(argv=None) -> int:
     print(f"-- total wall time {time.time() - t0:.1f}s --", file=sys.stderr)
     for note in diverging:
         print("   ", note)
+    if failures:
+        print(f"-- {len(failures)} experiment(s) FAILED: "
+              + ", ".join(r.experiment_id for r in failures) + " --")
     _print_timings(results)
     if profiler is not None:
         import pstats
@@ -252,7 +474,7 @@ def main(argv=None) -> int:
               file=sys.stderr)
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("tottime").print_stats(25)
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,23 @@
+"""Scriptable fault injection for the packet simulator.
+
+``FaultSchedule`` + the injector taxonomy let experiments impair a
+running simulation — link cuts and capacity renegotiation, router
+restarts that wipe the Eq. 11 feedback state, reverse-path ACK loss
+and reordering, route flips, and flow churn — without forking any
+simulation component.  The R1 chaos experiment
+(:mod:`repro.experiments.chaos`) and the fault-model section of
+``docs/architecture.md`` document the semantics; determinism under a
+fixed seed is pinned by the run-boundary tests.
+"""
+
+from .injectors import (AckLoss, AckReorder, Callback, FlowJoin, FlowLeave,
+                        LinkCapacity, LinkDown, LinkFlap, LinkUp,
+                        RouteFlip, RouterRestart)
+from .schedule import Fault, FaultEvent, FaultSchedule
+
+__all__ = [
+    "Fault", "FaultEvent", "FaultSchedule",
+    "LinkDown", "LinkUp", "LinkFlap", "LinkCapacity",
+    "RouterRestart", "AckLoss", "AckReorder", "RouteFlip",
+    "FlowLeave", "FlowJoin", "Callback",
+]

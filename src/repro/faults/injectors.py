@@ -1,0 +1,270 @@
+"""Concrete fault injectors.
+
+Each injector is a :class:`~repro.faults.schedule.Fault` command object
+acting on a live simulation component.  The taxonomy:
+
+* **Forward path** — :class:`LinkDown` / :class:`LinkUp` /
+  :class:`LinkFlap` cut and restore a link; :class:`LinkCapacity`
+  renegotiates its rate (optionally retuning the attached Eq. 11
+  feedback capacity so the control loop chases the new share).
+* **Control plane** — :class:`RouterRestart` wipes a RouterFeedback's
+  state and resets its epoch counter (or moves it to a new router id),
+  exercising the receiver-side staleness discard of Section 5.2 for
+  real.
+* **Reverse path** — :class:`AckLoss` and :class:`AckReorder` impair
+  the feedback channel at a sink (random drops; random extra jitter
+  that reorders label epochs in flight).
+* **Routing** — :class:`RouteFlip` re-points a node's route between
+  alternative links/paths mid-run.
+* **Workload** — :class:`FlowLeave` / :class:`FlowJoin` churn PELS
+  flows against a running session.
+* **Glue** — :class:`Callback` wraps an arbitrary function (snapshot
+  probes in experiments, custom one-off faults in tests).
+
+All randomness (AckReorder's jitter) draws from the simulator-owned
+RNG, so faulted runs stay a pure function of (scenario, schedule,
+seed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.engine import Simulator
+from ..sim.link import Link
+from ..sim.node import Node
+from .schedule import Fault
+
+__all__ = ["LinkDown", "LinkUp", "LinkFlap", "LinkCapacity",
+           "RouterRestart", "AckLoss", "AckReorder", "RouteFlip",
+           "FlowLeave", "FlowJoin", "Callback"]
+
+
+class LinkDown(Fault):
+    """Cut a link: offered packets drop, the transmitter pauses."""
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+
+    def apply(self, sim: Simulator) -> None:
+        self.link.set_up(False)
+
+    def describe(self) -> str:
+        return f"link-down:{self.link.name}"
+
+
+class LinkUp(Fault):
+    """Restore a cut link; queued packets resume transmission."""
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+
+    def apply(self, sim: Simulator) -> None:
+        self.link.set_up(True)
+
+    def describe(self) -> str:
+        return f"link-up:{self.link.name}"
+
+
+class LinkFlap(Fault):
+    """Cut a link now and bring it back ``down_for`` seconds later."""
+
+    def __init__(self, link: Link, down_for: float) -> None:
+        if down_for <= 0:
+            raise ValueError("flap outage must be positive")
+        self.link = link
+        self.down_for = down_for
+
+    def apply(self, sim: Simulator) -> None:
+        self.link.set_up(False)
+        sim.call_later(self.down_for, self.link.set_up, True)
+
+    def describe(self) -> str:
+        return f"link-flap:{self.link.name}:{self.down_for}s"
+
+
+class LinkCapacity(Fault):
+    """Renegotiate a link's rate mid-run.
+
+    When the link hosts a PELS bottleneck, pass its ``feedback``
+    process so the Eq. 11 capacity ``C`` follows the physical change
+    (scaled by ``pels_share``) and the control loops re-converge to the
+    new operating point instead of chasing a stale one.
+    """
+
+    def __init__(self, link: Link, rate_bps: float,
+                 feedback=None, pels_share: float = 1.0) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if not 0 < pels_share <= 1:
+            raise ValueError("pels share must be in (0, 1]")
+        self.link = link
+        self.rate_bps = rate_bps
+        self.feedback = feedback
+        self.pels_share = pels_share
+
+    def apply(self, sim: Simulator) -> None:
+        self.link.rate_bps = self.rate_bps
+        if self.feedback is not None:
+            self.feedback.capacity_bps = self.rate_bps * self.pels_share
+
+    def describe(self) -> str:
+        return f"link-capacity:{self.link.name}:{self.rate_bps/1e6:.2f}mbps"
+
+
+class RouterRestart(Fault):
+    """Reboot a feedback router: state wiped, epoch counter reset.
+
+    Sources holding the pre-crash epoch discard the reborn router's
+    labels as stale (counted in ``FeedbackTracker.stale_discarded``)
+    until their starvation handling re-synchronizes.  With
+    ``new_router_id`` the restart models a route change to a different
+    box; trackers then adopt the new clock on the first label.
+    """
+
+    def __init__(self, feedback, new_router_id: Optional[int] = None) -> None:
+        self.feedback = feedback
+        self.new_router_id = new_router_id
+
+    def apply(self, sim: Simulator) -> None:
+        self.feedback.restart(self.new_router_id)
+
+    def describe(self) -> str:
+        suffix = ("" if self.new_router_id is None
+                  else f"->id{self.new_router_id}")
+        return f"router-restart:{self.feedback.name}{suffix}"
+
+
+class AckLoss(Fault):
+    """Random ACK drops on a sink's reverse path.
+
+    Sets the sink's ``ack_loss_rate``; with ``duration`` the previous
+    rate is restored afterwards (a lossy-window impairment).
+    """
+
+    def __init__(self, sink, rate: float,
+                 duration: Optional[float] = None) -> None:
+        if not 0 <= rate < 1:
+            raise ValueError("ack loss rate must be in [0, 1)")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
+        self.sink = sink
+        self.rate = rate
+        self.duration = duration
+
+    def apply(self, sim: Simulator) -> None:
+        previous = self.sink.ack_loss_rate
+        self.sink.ack_loss_rate = self.rate
+        if self.duration is not None:
+            sim.call_later(self.duration, self._restore, previous)
+
+    def _restore(self, previous: float) -> None:
+        self.sink.ack_loss_rate = previous
+
+    def describe(self) -> str:
+        return f"ack-loss:flow{self.sink.flow_id}:{self.rate}"
+
+
+class AckReorder(Fault):
+    """Reorder ACKs by adding random per-ACK jitter on the reverse path.
+
+    Wraps the sink's delivery hook: each ACK picks up an extra uniform
+    ``[0, jitter)`` delay from the simulator RNG, so later ACKs can
+    overtake earlier ones and labels arrive with out-of-order epochs —
+    the exact condition the Section 5.2 freshness rule suppresses.
+    """
+
+    def __init__(self, sink, jitter: float,
+                 duration: Optional[float] = None) -> None:
+        if jitter <= 0:
+            raise ValueError("jitter must be positive")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
+        self.sink = sink
+        self.jitter = jitter
+        self.duration = duration
+
+    def apply(self, sim: Simulator) -> None:
+        inner = self.sink._source_receive
+        if inner is None:
+            return
+
+        def jittered(ack) -> None:
+            sim.call_later(sim.rng.uniform(0.0, self.jitter), inner, ack)
+
+        self.sink._source_receive = jittered
+        if self.duration is not None:
+            sim.call_later(self.duration, self._restore, inner)
+
+    def _restore(self, inner) -> None:
+        self.sink._source_receive = inner
+
+    def describe(self) -> str:
+        return f"ack-reorder:flow{self.sink.flow_id}:{self.jitter}s"
+
+
+class RouteFlip(Fault):
+    """Re-point a node's route to a different link mid-run.
+
+    With ``dst_id`` the per-destination entry flips; otherwise the
+    default route does.  Combined with two chain paths this models a
+    routing change — trackers then meet a new bottleneck router id and
+    adopt its epoch clock (Section 5.2's bottleneck-shift rule).
+    """
+
+    def __init__(self, node: Node, link: Link,
+                 dst_id: Optional[int] = None) -> None:
+        self.node = node
+        self.link = link
+        self.dst_id = dst_id
+
+    def apply(self, sim: Simulator) -> None:
+        if self.dst_id is None:
+            self.node.default_route = self.link
+        else:
+            self.node.routes[self.dst_id] = self.link
+
+    def describe(self) -> str:
+        target = "default" if self.dst_id is None else f"dst{self.dst_id}"
+        return f"route-flip:{self.node.name}:{target}->{self.link.name}"
+
+
+class FlowLeave(Fault):
+    """Stop a PELS source mid-run (churn: departure)."""
+
+    def __init__(self, source) -> None:
+        self.source = source
+
+    def apply(self, sim: Simulator) -> None:
+        self.source.stop()
+
+    def describe(self) -> str:
+        return f"flow-leave:flow{self.source.flow_id}"
+
+
+class FlowJoin(Fault):
+    """(Re)start a PELS source mid-run (churn: arrival/re-join)."""
+
+    def __init__(self, source, rate_bps: Optional[float] = None) -> None:
+        self.source = source
+        self.rate_bps = rate_bps
+
+    def apply(self, sim: Simulator) -> None:
+        self.source.restart(self.rate_bps)
+
+    def describe(self) -> str:
+        return f"flow-join:flow{self.source.flow_id}"
+
+
+class Callback(Fault):
+    """Run an arbitrary function — snapshot probes, bespoke faults."""
+
+    def __init__(self, fn: Callable[[], None], label: str = "callback") -> None:
+        self.fn = fn
+        self.label = label
+
+    def apply(self, sim: Simulator) -> None:
+        self.fn()
+
+    def describe(self) -> str:
+        return self.label

@@ -1,0 +1,102 @@
+"""Declarative fault schedules for chaos experiments.
+
+A :class:`FaultSchedule` is an ordered list of ``(time, fault)`` pairs;
+installing it on a simulator schedules each fault's :meth:`Fault.apply`
+at its trigger time through the ordinary event heap.  Faults therefore
+interleave deterministically with regular traffic: a run with a fixed
+seed and a fixed schedule is byte-reproducible, serially and in
+``--jobs`` worker processes (the run-boundary tests pin this).
+
+Faults are small command objects that *compose with* live simulation
+components — links, feedback processes, sinks, sources, routers —
+rather than forking them; see :mod:`repro.faults.injectors` for the
+concrete taxonomy (link cuts, capacity renegotiation, router restarts,
+reverse-path impairment, route flips, flow churn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from ..sim.engine import Simulator
+
+__all__ = ["Fault", "FaultEvent", "FaultSchedule"]
+
+
+class Fault:
+    """One injectable fault; subclasses implement :meth:`apply`."""
+
+    def apply(self, sim: Simulator) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line label used in the schedule's applied-event log."""
+        return self.__class__.__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.describe()}>"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault armed for a specific simulation time."""
+
+    at: float
+    fault: Fault
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time cannot be negative")
+
+
+class FaultSchedule:
+    """Ordered, installable list of timed faults.
+
+    Build one declaratively::
+
+        schedule = (FaultSchedule()
+                    .add(20.0, LinkDown(sim.barbell.bottleneck))
+                    .add(22.0, LinkUp(sim.barbell.bottleneck))
+                    .add(40.0, RouterRestart(sim.feedback)))
+        schedule.install(sim.sim)
+
+    ``install`` may be called before or during a run, but only once;
+    events strictly in the past are rejected rather than silently
+    dropped.  ``applied`` logs ``(time, description)`` per fired fault
+    so tests can assert the exact fault sequence a run experienced.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: List[FaultEvent] = list(events)
+        self.applied: List[Tuple[float, str]] = []
+        self._installed = False
+
+    def add(self, at: float, fault: Fault) -> "FaultSchedule":
+        """Arm ``fault`` for time ``at``; returns self for chaining."""
+        if self._installed:
+            raise RuntimeError("schedule already installed")
+        self.events.append(FaultEvent(at, fault))
+        return self
+
+    def extend(self, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        for event in events:
+            self.add(event.at, event.fault)
+        return self
+
+    def install(self, sim: Simulator) -> "FaultSchedule":
+        """Schedule every fault on the simulator's event heap."""
+        if self._installed:
+            raise RuntimeError("schedule already installed")
+        self._installed = True
+        for event in sorted(self.events, key=lambda e: e.at):
+            if event.at < sim.now:
+                raise ValueError(
+                    f"fault {event.fault.describe()!r} at t={event.at} is "
+                    f"in the past (now={sim.now})")
+            sim.call_at(event.at, self._fire, sim, event.fault)
+        return self
+
+    def _fire(self, sim: Simulator, fault: Fault) -> None:
+        fault.apply(sim)
+        self.applied.append((sim.now, fault.describe()))

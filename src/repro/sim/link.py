@@ -41,6 +41,7 @@ class Link:
 
     __slots__ = ("sim", "src", "_dst", "rate_bps", "delay", "queue", "name",
                  "busy", "bytes_sent", "packets_sent", "on_transmit",
+                 "up", "fault_drops",
                  "_finish_cb", "_deliver_cb", "_call_later", "_dst_receive",
                  "_queue_enqueue", "_queue_transit", "_queue_dequeue")
 
@@ -62,6 +63,12 @@ class Link:
         self.bytes_sent = 0
         self.packets_sent = 0
         self.on_transmit: Optional[TxHook] = None
+        #: Administrative/fault state: a down link drops offered packets
+        #: and pauses its transmitter (queued packets wait; packets
+        #: already past serialization still propagate — they are on the
+        #: wire).  Toggled by the fault-injection layer via set_up().
+        self.up = True
+        self.fault_drops = 0
         # Transmission events are never cancelled and fire once per
         # packet per hop, so bind the callbacks (and the queue/simulator
         # entry points — neither is ever replaced after construction)
@@ -90,6 +97,9 @@ class Link:
 
         Returns True if the packet was accepted by the queue.
         """
+        if not self.up:
+            self.fault_drops += 1
+            return False
         packet.enqueued_at = self.sim.now
         if self.busy:
             return self._queue_enqueue(packet)
@@ -105,7 +115,22 @@ class Link:
                          self._finish_cb, served)
         return True
 
+    def set_up(self, up: bool) -> None:
+        """Take the link down / bring it back up (fault injection).
+
+        Down: new packets are dropped at the ingress and the
+        transmitter pauses after the in-flight packet.  Up: the
+        transmitter resumes draining whatever queued before the cut.
+        """
+        was_up = self.up
+        self.up = up
+        if up and not was_up and not self.busy:
+            self._start_next()
+
     def _start_next(self) -> None:
+        if not self.up:
+            self.busy = False
+            return
         packet = self._queue_dequeue()
         if packet is None:
             self.busy = False

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 
+import pytest
+
 from repro.core.session import PelsScenario, PelsSimulation
 from repro.experiments.runner import _run_one, run_all
 from repro.experiments import ablations
+from repro.faults import FaultSchedule, LinkFlap, RouterRestart
 
 
 def _fingerprint(sim: PelsSimulation) -> dict:
@@ -88,5 +91,38 @@ class TestRunnerDeterminism:
         with ProcessPoolExecutor(max_workers=1) as pool:
             pooled = pool.submit(_run_one, "A1", True).result()
         assert pooled.experiment_id == serial.experiment_id
+        assert pooled.render() == serial.render()
+        assert pooled.metrics == serial.metrics
+
+
+class TestFaultedRunDeterminism:
+    """A faulted run is a pure function of (scenario, schedule, seed)."""
+
+    @staticmethod
+    def _faulted_run() -> PelsSimulation:
+        scenario = PelsScenario(n_flows=2, duration=12.0, seed=9,
+                                feedback_timeout=1.0)
+        sim = PelsSimulation(scenario)
+        (FaultSchedule()
+         .add(4.0, LinkFlap(sim.barbell.bottleneck, down_for=1.5))
+         .add(8.0, RouterRestart(sim.feedback))
+         ).install(sim.sim)
+        return sim.run()
+
+    def test_same_seed_and_schedule_reproduce_exactly(self):
+        first = self._faulted_run()
+        second = self._faulted_run()
+        assert _fingerprint(first) == _fingerprint(second)
+        assert [s.tracker.stale_discarded for s in first.sources] == \
+               [s.tracker.stale_discarded for s in second.sources]
+        assert [s.blind_intervals for s in first.sources] == \
+               [s.blind_intervals for s in second.sources]
+
+    @pytest.mark.slow
+    def test_chaos_experiment_matches_across_process_boundary(self):
+        """R1 renders byte-identically serially and in a --jobs worker."""
+        serial = _run_one("R1", True)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pooled = pool.submit(_run_one, "R1", True).result()
         assert pooled.render() == serial.render()
         assert pooled.metrics == serial.metrics

@@ -1,0 +1,196 @@
+"""Hardened experiment runner: crash isolation, retries, timeout, resume.
+
+The registry is monkeypatched with misbehaving experiments; the default
+``fork`` start method propagates the patch into pool workers and
+isolation children, so the failure paths are exercised for real.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import (_run_isolated, _run_one, failed,
+                                      main, run_all)
+
+
+def _ok_run(fast=False):
+    result = ExperimentResult("OK", "works")
+    result.metrics["value"] = 42.0
+    return result
+
+
+def _boom_run(fast=False):
+    raise RuntimeError("deliberate crash")
+
+
+def _registry_with(monkeypatch, **extra):
+    registry = {"OK": _ok_run, "BOOM": _boom_run}
+    registry.update(extra)
+    monkeypatch.setattr(runner, "_REGISTRY", registry)
+    return registry
+
+
+class TestCrashIsolation:
+    def test_serial_failure_is_structured_not_raised(self, monkeypatch):
+        _registry_with(monkeypatch)
+        results = run_all(only="OK,BOOM")
+        assert [r.experiment_id for r in results] == ["OK", "BOOM"]
+        assert not failed(results[0])
+        assert failed(results[1])
+        assert results[1].metrics["attempts"] == 1.0
+        assert any("deliberate crash" in n for n in results[1].notes)
+
+    def test_jobs_pool_survives_a_crashing_experiment(self, monkeypatch):
+        _registry_with(monkeypatch)
+        results = run_all(only="OK,BOOM", jobs=2)
+        by_id = {r.experiment_id: r for r in results}
+        assert not failed(by_id["OK"])
+        assert by_id["OK"].metrics["value"] == 42.0
+        assert failed(by_id["BOOM"])
+
+    def test_serial_and_pool_report_failures_identically(self, monkeypatch):
+        _registry_with(monkeypatch)
+        serial = run_all(only="OK,BOOM")
+        pooled = run_all(only="OK,BOOM", jobs=2)
+        assert [r.render() for r in serial] == [r.render() for r in pooled]
+
+    def test_exit_code_1_when_any_experiment_fails(self, monkeypatch,
+                                                   capsys):
+        _registry_with(monkeypatch)
+        assert main(["--only", "OK,BOOM"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "1 experiment(s) FAILED: BOOM" in out
+
+    def test_exit_code_0_without_failures(self, monkeypatch, capsys):
+        _registry_with(monkeypatch)
+        assert main(["--only", "OK"]) == 0
+
+
+class TestRetries:
+    def test_transient_error_retries_then_succeeds(self, monkeypatch):
+        calls = []
+
+        def flaky(fast=False):
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("resource pressure")
+            return _ok_run(fast)
+
+        _registry_with(monkeypatch, FLAKY=flaky)
+        result = _run_one("FLAKY", True, retries=2, backoff=0.0)
+        assert not failed(result)
+        assert len(calls) == 3
+
+    def test_retries_exhausted_yields_transient_failure(self, monkeypatch):
+        def always(fast=False):
+            raise OSError("still broken")
+
+        _registry_with(monkeypatch, ALWAYS=always)
+        result = _run_one("ALWAYS", True, retries=1, backoff=0.0)
+        assert failed(result)
+        assert result.metrics["attempts"] == 2.0
+        assert "transient-error" in result.title
+
+    def test_non_transient_error_fails_without_retry(self, monkeypatch):
+        calls = []
+
+        def boom(fast=False):
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        _registry_with(monkeypatch, B=boom)
+        result = _run_one("B", True, retries=5, backoff=0.0)
+        assert failed(result)
+        assert len(calls) == 1
+
+
+class TestIsolation:
+    def test_timeout_kills_a_hung_experiment(self, monkeypatch):
+        def hang(fast=False):
+            time.sleep(60.0)
+
+        _registry_with(monkeypatch, HANG=hang)
+        t0 = time.perf_counter()
+        result = _run_isolated("HANG", True, timeout=0.5)
+        assert time.perf_counter() - t0 < 10.0
+        assert failed(result)
+        assert "timeout" in result.title
+
+    def test_hard_crash_yields_worker_died_failure(self, monkeypatch):
+        def die(fast=False):
+            os._exit(3)
+
+        _registry_with(monkeypatch, DIE=die)
+        result = _run_isolated("DIE", True, timeout=30.0)
+        assert failed(result)
+        assert "worker-died" in result.title
+
+    def test_isolated_success_returns_the_result(self, monkeypatch):
+        _registry_with(monkeypatch)
+        result = _run_isolated("OK", True, timeout=30.0)
+        assert not failed(result)
+        assert result.metrics["value"] == 42.0
+
+    def test_run_all_with_timeout_handles_mixed_outcomes(self, monkeypatch):
+        def hang(fast=False):
+            time.sleep(60.0)
+
+        _registry_with(monkeypatch, HANG=hang)
+        results = run_all(only="OK,HANG", jobs=2, timeout=1.0)
+        by_id = {r.experiment_id: r for r in results}
+        assert not failed(by_id["OK"])
+        assert failed(by_id["HANG"])
+
+
+class TestCheckpointResume:
+    def test_out_dir_checkpoints_each_artifact(self, monkeypatch, tmp_path):
+        _registry_with(monkeypatch)
+        run_all(only="OK,BOOM", out_dir=str(tmp_path))
+        assert (tmp_path / "OK.json").exists()
+        assert (tmp_path / "BOOM.json").exists()
+
+    def test_resume_skips_completed_artifacts(self, monkeypatch, tmp_path):
+        _registry_with(monkeypatch)
+        run_all(only="OK", out_dir=str(tmp_path))
+
+        def poisoned(fast=False):
+            raise AssertionError("must not re-run a checkpointed artifact")
+
+        _registry_with(monkeypatch, OK=poisoned)
+        results = run_all(only="OK", out_dir=str(tmp_path), resume=True)
+        assert not failed(results[0])
+        assert results[0].metrics["value"] == 42.0
+
+    def test_resume_reruns_failed_artifacts(self, monkeypatch, tmp_path):
+        _registry_with(monkeypatch)
+        first = run_all(only="BOOM", out_dir=str(tmp_path))
+        assert failed(first[0])
+
+        _registry_with(monkeypatch, BOOM=_ok_run)
+        results = run_all(only="BOOM", out_dir=str(tmp_path), resume=True)
+        assert not failed(results[0])
+
+    def test_corrupt_checkpoint_is_rerun(self, monkeypatch, tmp_path):
+        _registry_with(monkeypatch)
+        (tmp_path / "OK.json").write_text("{ not json")
+        results = run_all(only="OK", out_dir=str(tmp_path), resume=True)
+        assert not failed(results[0])
+
+    def test_resume_requires_out_dir(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--resume", "--only", "F2"])
+        assert exc.value.code == 2
+
+    def test_bad_timeout_and_retries_rejected(self):
+        for argv in (["--timeout", "0", "--only", "F2"],
+                     ["--retries", "-1", "--only", "F2"],
+                     ["--retry-backoff", "-1", "--only", "F2"]):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2
