@@ -82,6 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--retry-backoff", type=float, default=0.5, metavar="S")
     exp.add_argument("--out-dir", default="", metavar="DIR")
     exp.add_argument("--resume", action="store_true")
+    exp.add_argument("--metrics-out", default="", metavar="PATH",
+                     help="write per-artifact metrics as JSONL here")
 
     ana = sub.add_parser("analyze",
                          help="closed-form values (Lemmas 1-6)")
@@ -94,11 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--alpha", type=float, default=20_000.0)
     ana.add_argument("--beta", type=float, default=0.5)
 
-    trc = sub.add_parser("trace", help="generate a synthetic video trace")
+    trc = sub.add_parser(
+        "trace",
+        help="trace an experiment as JSONL, or generate a synthetic "
+             "video trace",
+        description="With an experiment id (e.g. F2, R1), run it with "
+                    "the structured tracer and metrics registry active "
+                    "and emit the JSONL timeline.  Without one, "
+                    "generate a synthetic Foreman-like video trace "
+                    "(legacy mode).")
+    trc.add_argument("experiment", nargs="?", default="",
+                     help="experiment id to trace (omit for the "
+                          "synthetic video-trace mode)")
+    trc.add_argument("--fast", action="store_true",
+                     help="CI-sized run of the traced experiment")
+    trc.add_argument("--events", type=int, default=262_144,
+                     metavar="N", help="tracer ring capacity (oldest "
+                                       "events evicted beyond this)")
     trc.add_argument("--frames", type=int, default=300)
     trc.add_argument("--seed", type=int, default=7)
-    trc.add_argument("--out", default="", help="write JSON here (default "
-                                               "stdout)")
+    trc.add_argument("--out", default="", help="write JSON(L) here "
+                                               "(default stdout)")
 
     plt = sub.add_parser("plot", help="chart a series from a results "
                                       "JSON (see experiments --json)")
@@ -205,7 +223,53 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_trace_experiment(args) -> int:
+    """Run one registry experiment with tracing/metrics on; emit JSONL.
+
+    The timeline is a header line describing the run, then every trace
+    event still in the ring (oldest first), then every epoch-boundary
+    metrics snapshot — one JSON object per line throughout.
+    """
+    from .experiments.runner import (_registry, _run_one,
+                                     _unknown_key_message, failed)
+    from .obs.metrics import MetricsRegistry, metrics
+    from .obs.trace import Tracer, tracing
+
+    key = args.experiment.strip().upper()
+    if key not in _registry():
+        print(_unknown_key_message(key), file=sys.stderr)
+        return 2
+    tracer = Tracer(capacity=args.events)
+    registry = MetricsRegistry()
+    with tracing(tracer), metrics(registry):
+        result = _run_one(key, fast=args.fast)
+    header = json.dumps({
+        "type": "run",
+        "experiment_id": key,
+        "title": result.title,
+        "failed": failed(result),
+        "events": len(tracer),
+        "evicted": tracer.evicted(),
+        "snapshots": len(registry.snapshots),
+    }, sort_keys=True)
+    lines = [header]
+    lines.extend(tracer.jsonl_lines())
+    lines.extend(registry.jsonl_lines())
+    if args.out:
+        with open(args.out, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        print(f"{len(lines)} JSONL line(s) for {key} written to "
+              f"{args.out}")
+    else:
+        for line in lines:
+            print(line)
+    return 1 if failed(result) else 0
+
+
 def _cmd_trace(args) -> int:
+    if args.experiment:
+        return _cmd_trace_experiment(args)
     from .video.traces import generate_foreman_like
 
     trace = generate_foreman_like(n_frames=args.frames, seed=args.seed)
@@ -301,6 +365,8 @@ def _dispatch(args) -> int:
             forwarded.extend(["--out-dir", args.out_dir])
         if args.resume:
             forwarded.append("--resume")
+        if args.metrics_out:
+            forwarded.extend(["--metrics-out", args.metrics_out])
         return experiments_main(forwarded)
     raise AssertionError(f"unhandled command {args.command}")
 

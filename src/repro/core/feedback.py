@@ -17,7 +17,7 @@ Implements Section 5.2:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..sim.engine import Process, Simulator
 from ..sim.packet import FeedbackLabel, Packet
@@ -79,6 +79,11 @@ class RouterFeedback(Process):
         self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
         self.loss_series = TimeSeries("virtual-loss")
         self.rate_series = TimeSeries("pels-arrival-rate")
+        #: Observability: the simulator's tracer (None when off) and an
+        #: optional per-epoch callback (the SimulationMonitor attaches
+        #: here) — both piggyback on _compute, adding no heap events.
+        self._trace = sim.tracer
+        self.epoch_hook: Optional[Callable[["RouterFeedback"], None]] = None
         self._timer = self.every(interval, self._compute, start_delay=interval)
 
     def observe(self, packet: Packet) -> None:
@@ -100,6 +105,12 @@ class RouterFeedback(Process):
         self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
         self.loss_series.record(self.sim.now, self.loss)
         self.rate_series.record(self.sim.now, rate)
+        if self._trace is not None:
+            self._trace.epoch(self.sim.now, self.router_id, self.epoch,
+                              rate, self.loss)
+        hook = self.epoch_hook
+        if hook is not None:
+            hook(self)
 
     def restart(self, new_router_id: Optional[int] = None) -> None:
         """Simulate a router crash/reboot: all feedback state is lost.

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..cc.mkc import MkcController
+from ..obs.metrics import current_registry
+from ..obs.monitor import SimulationMonitor
 from ..sim.chain import Chain, ChainConfig, build_chain
 from ..sim.engine import Simulator
 from ..sim.packet import Color
@@ -138,6 +140,11 @@ class MultiHopPelsSimulation:
                 self.sim, host, dst, flow_id=2000 + j, rate_bps=rate,
                 packet_size=500, color=Color.RED,
                 start_time=start, stop_time=stop))
+
+        # Epoch-boundary metrics snapshots, as in PelsSimulation.
+        registry = current_registry()
+        self.monitor = SimulationMonitor(self, registry) \
+            if registry is not None else None
 
     def run(self, until: Optional[float] = None) -> "MultiHopPelsSimulation":
         self.sim.run(until=until if until is not None

@@ -147,6 +147,9 @@ class PelsBottleneckQueue(QueueDiscipline):
         else:
             stats.drops += 1
             stats.drop_bytes += packet.size
+        if self._trace is not None:
+            self._trace.enqueue(self.name, int(color), packet.flow_id,
+                                accepted)
         return accepted
 
     def dequeue(self) -> Optional[Packet]:
@@ -155,6 +158,9 @@ class PelsBottleneckQueue(QueueDiscipline):
             stats = self.stats
             stats.departures += 1
             stats.departure_bytes += packet.size
+            if self._trace is not None:
+                self._trace.dequeue(self.name, int(packet.color),
+                                    packet.flow_id)
         return packet
 
     def peek(self) -> Optional[Packet]:

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional
 
 from ..cc.base import make_controller
 from ..cc.tcp import TcpSink, TcpSource
+from ..obs.metrics import current_registry
+from ..obs.monitor import SimulationMonitor
 from ..sim.traffic import CbrSource
 from ..sim.engine import Simulator
 from ..sim.packet import Color
@@ -223,6 +225,14 @@ class PelsSimulation:
             for color in (Color.GREEN, Color.YELLOW, Color.RED)
         }
         self._sampler = self.feedback.every(s.sample_interval, self._sample)
+
+        # With an active metrics registry, snapshot queue/flow/engine
+        # health at every feedback epoch (piggybacked on _compute — no
+        # extra heap events, so traced and plain runs stay
+        # event-identical).  None when metrics are off (the default).
+        registry = current_registry()
+        self.monitor = SimulationMonitor(self, registry) \
+            if registry is not None else None
 
     def _sample(self) -> None:
         losses = self.bottleneck_queue.sample_losses(self.sim.now)

@@ -86,6 +86,7 @@ class PelsSource:
         self._last_feedback: Optional[float] = None
 
         self.tracker = FeedbackTracker()
+        self._trace = sim.tracer
         self.rate_series = TimeSeries(f"rate-flow{flow_id}")
         self.gamma_series = TimeSeries(f"gamma-flow{flow_id}")
         self.loss_series = TimeSeries(f"loss-flow{flow_id}")
@@ -162,6 +163,8 @@ class PelsSource:
             # A restarted bottleneck re-counts epochs from zero; only
             # dropping our epoch clock lets its labels through again.
             self.tracker.reset()
+            if self._trace is not None:
+                self._trace.blind(now, self.flow_id, True)
         self.blind_intervals += 1
         self.controller.blind_decay(self.blind_backoff, now)
 
@@ -218,9 +221,16 @@ class PelsSource:
             self.blind = False
             self.recoveries += 1
             self.controller.reset(self.controller.rate_bps)
+            if self._trace is not None:
+                self._trace.blind(now, self.flow_id, False)
         self.controller.on_feedback(loss, now)
         self.gamma_controller.update(loss)
         self.loss_series.record(now, loss)
+        if self._trace is not None:
+            self._trace.rate(now, self.flow_id, loss,
+                             self.controller.rate_bps)
+            self._trace.gamma_step(now, self.flow_id,
+                                   self.gamma_controller.gamma)
 
     def stop(self) -> None:
         """Terminate the flow (no further packets are emitted)."""

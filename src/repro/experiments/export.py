@@ -16,7 +16,7 @@ from typing import Iterable
 from .common import ExperimentResult
 
 __all__ = ["result_to_dict", "result_from_dict", "write_json",
-           "write_series_csv"]
+           "write_series_csv", "metrics_jsonl_lines", "write_metrics_jsonl"]
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -65,6 +65,34 @@ def write_json(results: Iterable[ExperimentResult], path: str) -> None:
     """Write all results to one JSON document."""
     payload = {"artifacts": [result_to_dict(r) for r in results]}
     Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def metrics_jsonl_lines(results: Iterable[ExperimentResult]
+                        ) -> Iterable[str]:
+    """One sorted-key JSON line per result: id, title, failed, metrics.
+
+    Deliberately excludes wall times and any other host-dependent
+    field, so the file is byte-identical between serial and ``--jobs``
+    sweeps (the determinism suite pins this).
+    """
+    for result in results:
+        yield json.dumps({
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "failed": result.metrics.get("failed", 0.0) == 1.0,
+            "metrics": dict(result.metrics),
+        }, sort_keys=True)
+
+
+def write_metrics_jsonl(results: Iterable[ExperimentResult],
+                        path: str) -> int:
+    """Write the metrics JSONL next to the run; returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for line in metrics_jsonl_lines(results):
+            handle.write(line + "\n")
+            count += 1
+    return count
 
 
 def write_series_csv(result: ExperimentResult, name: str,

@@ -397,6 +397,10 @@ def main(argv=None) -> int:
     parser.add_argument("--retry-backoff", type=float, default=0.5,
                         metavar="S", help="base backoff delay between "
                         "retry attempts (doubles each attempt)")
+    parser.add_argument("--metrics-out", default="", metavar="PATH",
+                        help="write one JSON line per artifact (id, title, "
+                             "failed flag, metrics) to PATH; byte-identical "
+                             "between serial and --jobs runs")
     parser.add_argument("--out-dir", default="", metavar="DIR",
                         help="checkpoint each artifact to DIR/<KEY>.json "
                              "as it completes")
@@ -419,10 +423,17 @@ def main(argv=None) -> int:
     jobs = args.jobs
     if args.profile:
         import cProfile
+
+        from ..obs.profile import enable_profiling, reset_profile
         if jobs > 1:
             print("-- profiling runs serially; ignoring --jobs --",
                   file=sys.stderr)
             jobs = 1
+        # Per-callback-type engine timings ride along with cProfile:
+        # the simulators merge their per-run tallies into the obs
+        # accumulator, reported to stderr after the sweep.
+        reset_profile()
+        enable_profiling()
         profiler = cProfile.Profile()
         profiler.enable()
 
@@ -452,6 +463,11 @@ def main(argv=None) -> int:
         from .export import write_json
         write_json(results, args.json)
         print(f"-- results written to {args.json} --")
+    if args.metrics_out:
+        from .export import write_metrics_jsonl
+        count = write_metrics_jsonl(results, args.metrics_out)
+        print(f"-- {count} metrics line(s) written to "
+              f"{args.metrics_out} --")
     diverging = [
         note for result in results for note in result.notes
         if "DIVERGES" in note]
@@ -469,11 +485,15 @@ def main(argv=None) -> int:
     _print_timings(results)
     if profiler is not None:
         import pstats
+
+        from ..obs.profile import disable_profiling, write_profile_report
         profiler.dump_stats(args.profile)
         print(f"-- cProfile stats written to {args.profile} --",
               file=sys.stderr)
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("tottime").print_stats(25)
+        write_profile_report(sys.stderr)
+        disable_profiling()
     return 1 if failures else 0
 
 

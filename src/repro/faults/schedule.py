@@ -71,6 +71,7 @@ class FaultSchedule:
         self.events: List[FaultEvent] = list(events)
         self.applied: List[Tuple[float, str]] = []
         self._installed = False
+        self._sim: Simulator | None = None
 
     def add(self, at: float, fault: Fault) -> "FaultSchedule":
         """Arm ``fault`` for time ``at``; returns self for chaining."""
@@ -85,18 +86,38 @@ class FaultSchedule:
         return self
 
     def install(self, sim: Simulator) -> "FaultSchedule":
-        """Schedule every fault on the simulator's event heap."""
+        """Schedule every fault on the simulator's event heap.
+
+        A schedule binds to exactly one simulator for its lifetime: the
+        ``applied`` log is append-only, so re-arming the same schedule
+        on a second simulator would silently interleave two runs' fault
+        logs and corrupt every assertion made against them.  The
+        install is atomic — all event times are validated before any
+        fault is armed, so a rejected schedule leaves nothing behind on
+        the heap.
+        """
         if self._installed:
+            if self._sim is not None and sim is not self._sim:
+                raise RuntimeError(
+                    "schedule already installed on another simulator; "
+                    "its applied-event log is append-only per install — "
+                    "build a fresh FaultSchedule per run")
             raise RuntimeError("schedule already installed")
-        self._installed = True
-        for event in sorted(self.events, key=lambda e: e.at):
+        ordered = sorted(self.events, key=lambda e: e.at)
+        for event in ordered:
             if event.at < sim.now:
                 raise ValueError(
                     f"fault {event.fault.describe()!r} at t={event.at} is "
                     f"in the past (now={sim.now})")
+        self._installed = True
+        self._sim = sim
+        for event in ordered:
             sim.call_at(event.at, self._fire, sim, event.fault)
         return self
 
     def _fire(self, sim: Simulator, fault: Fault) -> None:
         fault.apply(sim)
         self.applied.append((sim.now, fault.describe()))
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.fault(sim.now, fault.describe())

@@ -1,0 +1,205 @@
+"""Metrics registry: counters, gauges and histograms with snapshots.
+
+A :class:`MetricsRegistry` is a named bag of instruments that a
+:class:`~repro.obs.monitor.SimulationMonitor` (or any caller) updates
+while a run progresses, and snapshots at ``T``-epoch boundaries into a
+bounded ring.  Snapshots are JSON-ready dicts, exported one-per-line by
+``write_jsonl`` — the same format the runner's ``--metrics-out`` flag
+emits for whole experiment sweeps.
+
+Like the tracer, the registry is opt-in via module-global activation
+(``activate_metrics``/``current_registry``): nothing in the simulator
+ever creates one, and sessions only attach a monitor when a registry is
+already active, so default runs carry zero instrumentation state.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "activate_metrics", "deactivate_metrics", "current_registry",
+           "metrics"]
+
+#: Geometric default bucket bounds — wide enough for queue depths,
+#: heap depths and wall-time ratios alike.
+DEFAULT_BOUNDS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                  1000.0, 10000.0)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_value(self):
+        return self.value
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_value(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound histogram with count/total/min/max summary."""
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        # One bucket per bound plus the overflow bucket.
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_value(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus a bounded ring of point-in-time snapshots."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "snapshots",
+                 "snapshot_capacity")
+
+    def __init__(self, snapshot_capacity: int = 65536) -> None:
+        if snapshot_capacity < 1:
+            raise ValueError("snapshot capacity must be at least 1")
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.snapshot_capacity = snapshot_capacity
+        self.snapshots: deque = deque(maxlen=snapshot_capacity)
+
+    # -- instrument accessors (create on first use) ------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    # -- snapshots ---------------------------------------------------------
+
+    def values(self) -> dict:
+        """Current values of every instrument, grouped by kind."""
+        return {
+            "counters": {k: v.to_value()
+                         for k, v in sorted(self._counters.items())},
+            "gauges": {k: v.to_value()
+                       for k, v in sorted(self._gauges.items())},
+            "histograms": {k: v.to_value()
+                           for k, v in sorted(self._histograms.items())},
+        }
+
+    def snapshot(self, t: float) -> dict:
+        """Record (and return) a snapshot of all instruments at time t."""
+        record = {"t": t, **self.values()}
+        self.snapshots.append(record)
+        return record
+
+    def jsonl_lines(self) -> Iterator[str]:
+        for record in self.snapshots:
+            yield json.dumps(record, sort_keys=True)
+
+    def write_jsonl(self, path: str) -> int:
+        count = 0
+        with open(path, "w") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+                count += 1
+        return count
+
+    def names(self) -> List[str]:
+        return sorted(self._counters) + sorted(self._gauges) + \
+            sorted(self._histograms)
+
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def activate_metrics(registry: Optional[MetricsRegistry] = None
+                     ) -> MetricsRegistry:
+    """Make ``registry`` (or a fresh one) the active metrics registry."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def deactivate_metrics() -> Optional[MetricsRegistry]:
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when metrics are off (default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def metrics(registry: Optional[MetricsRegistry] = None):
+    """Scoped activation mirror of :func:`repro.obs.trace.tracing`."""
+    active = activate_metrics(registry)
+    try:
+        yield active
+    finally:
+        deactivate_metrics()

@@ -1,0 +1,107 @@
+"""Per-epoch simulation monitor feeding a :class:`MetricsRegistry`.
+
+``SimulationMonitor`` attaches to an assembled simulation (single-hop
+:class:`~repro.core.session.PelsSimulation` or the multi-hop variant)
+and snapshots the registry at every ``T``-epoch boundary — piggybacked
+on the router feedback computation through ``RouterFeedback.epoch_hook``
+so monitoring adds *zero* events to the heap and cannot perturb event
+order.
+
+Recorded per epoch:
+
+* per-queue occupancy by color (green/yellow/red/internet packet counts)
+* per-flow rate and Eq. 8 convergence error against the Lemma 6 oracle
+  ``r* = C/N + alpha/beta``
+* per-flow stale-discard counts (cumulative, from the freshness tracker)
+* event-heap depth (plus a histogram of its distribution)
+* wall-clock seconds consumed per simulated second
+
+Sessions attach a monitor automatically when a registry is active (see
+``current_registry``); with metrics off the constructor is never called.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..cc.mkc import mkc_stationary_rate
+from .metrics import MetricsRegistry
+
+__all__ = ["SimulationMonitor"]
+
+
+class SimulationMonitor:
+    """Snapshot queue/flow/engine health at every feedback epoch."""
+
+    def __init__(self, assembly, registry: MetricsRegistry) -> None:
+        self.assembly = assembly
+        self.registry = registry
+        self.sim = assembly.sim
+        self.epochs_observed = 0
+
+        hop_queues = getattr(assembly, "hop_queues", None)
+        self.queues = list(hop_queues) if hop_queues is not None \
+            else [assembly.bottleneck_queue]
+        feedbacks = getattr(assembly, "feedbacks", None)
+        self.feedbacks = list(feedbacks) if feedbacks is not None \
+            else [assembly.feedback]
+
+        self.r_star = self._lemma6_rate(assembly.scenario)
+
+        self._wall_last = time.perf_counter()
+        self._sim_last = self.sim.now
+
+        # The first feedback process defines the epoch cadence; its hook
+        # drives the snapshot (one attribute check per T, no new events).
+        self.feedbacks[0].epoch_hook = self._on_epoch
+
+    @staticmethod
+    def _lemma6_rate(scenario) -> float:
+        """The Lemma 6 equilibrium ``r* = C/N + alpha/beta`` for a scenario."""
+        if hasattr(scenario, "pels_capacity_bps"):
+            capacity = scenario.pels_capacity_bps()
+        else:
+            capacity = min(scenario.pels_capacity_of(i)
+                           for i in range(len(scenario.hop_bps)))
+        return mkc_stationary_rate(capacity, scenario.n_flows,
+                                   scenario.alpha_bps, scenario.beta)
+
+    def _on_epoch(self, feedback) -> None:
+        registry = self.registry
+        gauge = registry.gauge
+        sim = self.sim
+
+        for queue in self.queues:
+            prefix = f"queue.{queue.name}"
+            gauge(f"{prefix}.green").set(len(queue.green_queue))
+            gauge(f"{prefix}.yellow").set(len(queue.yellow_queue))
+            gauge(f"{prefix}.red").set(len(queue.red_queue))
+            gauge(f"{prefix}.internet").set(len(queue.internet_queue))
+
+        r_star = self.r_star
+        for source in self.assembly.sources:
+            prefix = f"flow.{source.flow_id}"
+            rate = source.rate_bps
+            gauge(f"{prefix}.rate_bps").set(rate)
+            gauge(f"{prefix}.conv_err").set(abs(rate - r_star) / r_star)
+            gauge(f"{prefix}.stale_discarded").set(
+                source.tracker.stale_discarded)
+
+        depth = sim.pending()
+        gauge("engine.heap_depth").set(depth)
+        registry.histogram("engine.heap_depth").observe(depth)
+
+        wall = time.perf_counter()
+        sim_now = sim.now
+        d_sim = sim_now - self._sim_last
+        if d_sim > 0:
+            ratio = (wall - self._wall_last) / d_sim
+            gauge("engine.wall_per_sim_s").set(ratio)
+            registry.histogram("engine.wall_per_sim_s",
+                               bounds=(0.001, 0.01, 0.1, 1.0, 10.0,
+                                       100.0)).observe(ratio)
+        self._wall_last = wall
+        self._sim_last = sim_now
+
+        self.epochs_observed += 1
+        registry.snapshot(sim_now)

@@ -1,0 +1,208 @@
+"""Structured tracing: typed events into a bounded in-memory ring.
+
+The tracer is the observability backbone of the reproduction: hot-path
+components (the event engine, the tri-color bottleneck queue, the WRR
+scheduler, links, the Eq. 11 feedback process, PELS sources, the fault
+schedule and the fluid engine) each hold an optional reference to the
+*active* tracer, captured at construction time.  When no tracer is
+active — the default — that reference is ``None`` and every
+instrumentation site is a single ``is not None`` check, so traced-off
+runs keep the exact event order and stdout of uninstrumented ones (the
+determinism tests pin this, and ``benchmarks/test_bench_obs.py`` bounds
+the overhead).
+
+Events are ``(t, type, fields)`` triples appended to a
+``deque(maxlen=capacity)`` ring: recording never allocates beyond the
+ring, never schedules simulator events, and never draws randomness, so
+activating a tracer cannot perturb a run.  ``write_jsonl`` exports the
+ring as one JSON object per line for external tooling
+(``pels trace <experiment>`` is the CLI entry point).
+
+Event taxonomy (the ``type`` field):
+
+========== ==========================================================
+``epoch``      router closed a feedback interval: Eq. 11 label stamped
+``rate``       source applied a fresh loss sample to its controller
+``gamma``      source stepped the Eq. 4 red-fraction controller
+``enqueue``    packet admitted to (or refused by) a PELS color queue
+``dequeue``    packet served from the PELS bottleneck
+``drop``       queue discipline dropped a packet (with reason)
+``wrr``        weighted-round-robin service decision at the bottleneck
+``link``       link administrative state change (fault injection)
+``fault``      a FaultSchedule entry fired
+``blind``      source entered/left feedback-starvation blind mode
+``fluid``      fluid-engine sample (epoch-batched fast path)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+__all__ = ["Tracer", "activate", "deactivate", "current_tracer", "tracing",
+           "EVENT_TYPES"]
+
+#: The closed set of event types the typed emit helpers produce.
+EVENT_TYPES = frozenset({
+    "epoch", "rate", "gamma", "enqueue", "dequeue", "drop", "wrr",
+    "link", "fault", "blind", "fluid",
+})
+
+
+class Tracer:
+    """Bounded ring of typed trace events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; older events are evicted first (ring
+        semantics).  ``emitted`` counts every emit, so
+        ``tracer.evicted()`` reports how many fell off the ring.
+    """
+
+    __slots__ = ("events", "capacity", "clock", "emitted")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be at least 1")
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        #: Object exposing ``.now`` (a Simulator); bound by the engine
+        #: so components without a simulator reference (queues,
+        #: schedulers) can still stamp wall-of-sim-time.
+        self.clock = None
+        self.emitted = 0
+
+    # -- clock -------------------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Bind the simulation clock (last constructed simulator wins)."""
+        self.clock = clock
+
+    def now(self) -> float:
+        clock = self.clock
+        return clock.now if clock is not None else -1.0
+
+    # -- generic + typed emitters ------------------------------------------
+
+    def emit(self, type_: str, t: float, fields: dict) -> None:
+        self.emitted += 1
+        self.events.append((t, type_, fields))
+
+    def epoch(self, t: float, router_id: int, z: int, rate_bps: float,
+              loss: float) -> None:
+        """Router closed interval T and stamped a new Eq. 11 label."""
+        self.emit("epoch", t, {"router": router_id, "z": z,
+                               "rate_bps": rate_bps, "loss": loss})
+
+    def rate(self, t: float, flow: int, loss: float,
+             rate_bps: float) -> None:
+        """A source consumed a fresh label and updated its rate."""
+        self.emit("rate", t, {"flow": flow, "loss": loss,
+                              "rate_bps": rate_bps})
+
+    def gamma_step(self, t: float, flow: int, gamma: float) -> None:
+        self.emit("gamma", t, {"flow": flow, "gamma": gamma})
+
+    def enqueue(self, queue: str, color: int, flow: int,
+                accepted: bool) -> None:
+        self.emit("enqueue", self.now(), {"queue": queue, "color": color,
+                                          "flow": flow,
+                                          "accepted": accepted})
+
+    def dequeue(self, queue: str, color: int, flow: int) -> None:
+        self.emit("dequeue", self.now(), {"queue": queue, "color": color,
+                                          "flow": flow})
+
+    def drop(self, queue: str, reason: str, color: int, flow: int) -> None:
+        self.emit("drop", self.now(), {"queue": queue, "reason": reason,
+                                       "color": color, "flow": flow})
+
+    def wrr(self, child: int, color: int, deficit: float) -> None:
+        self.emit("wrr", self.now(), {"child": child, "color": color,
+                                      "deficit": deficit})
+
+    def link_state(self, link: str, up: bool) -> None:
+        self.emit("link", self.now(), {"link": link, "up": up})
+
+    def fault(self, t: float, description: str) -> None:
+        self.emit("fault", t, {"fault": description})
+
+    def blind(self, t: float, flow: int, entered: bool) -> None:
+        self.emit("blind", t, {"flow": flow, "entered": entered})
+
+    def fluid_sample(self, t: float, epoch: int, mean_rate_bps: float,
+                     loss: float) -> None:
+        self.emit("fluid", t, {"epoch": epoch,
+                               "mean_rate_bps": mean_rate_bps,
+                               "loss": loss})
+
+    # -- introspection / export -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def evicted(self) -> int:
+        """Events emitted but no longer in the ring."""
+        return self.emitted - len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.emitted = 0
+
+    def to_dicts(self) -> List[dict]:
+        """The ring contents as JSON-ready dicts, oldest first."""
+        return [{"t": t, "type": type_, **fields}
+                for t, type_, fields in self.events]
+
+    def jsonl_lines(self) -> Iterator[str]:
+        for record in self.to_dicts():
+            yield json.dumps(record, sort_keys=True)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write one JSON object per event; returns the line count."""
+        count = 0
+        with open(path, "w") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+                count += 1
+        return count
+
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def activate(tracer: Optional[Tracer] = None) -> Tracer:
+    """Make ``tracer`` (or a fresh default one) the active tracer.
+
+    Components capture the active tracer at construction, so activate
+    *before* building simulations.  Returns the now-active tracer.
+    """
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def deactivate() -> Optional[Tracer]:
+    """Deactivate tracing; returns the previously active tracer."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` when tracing is off (default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None):
+    """``with tracing() as t:`` — scoped activation, always deactivated."""
+    active = activate(tracer)
+    try:
+        yield active
+    finally:
+        deactivate()

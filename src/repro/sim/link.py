@@ -124,6 +124,9 @@ class Link:
         """
         was_up = self.up
         self.up = up
+        tracer = self.sim.tracer
+        if tracer is not None and up != was_up:
+            tracer.link_state(self.name, up)
         if up and not was_up and not self.busy:
             self._start_next()
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from ..obs.trace import current_tracer
 from .packet import Packet
 
 __all__ = ["QueueDiscipline", "DropTailQueue", "REDQueue", "QueueStats"]
@@ -60,7 +61,7 @@ class QueueDiscipline:
     reason string.
     """
 
-    __slots__ = ("name", "stats", "on_drop", "arrival_log")
+    __slots__ = ("name", "stats", "on_drop", "arrival_log", "_trace")
 
     def __init__(self, name: str = "") -> None:
         self.name = name or self.__class__.__name__
@@ -70,6 +71,9 @@ class QueueDiscipline:
         #: False (accepted) — the per-arrival drop indicator used by the
         #: loss-burst analysis (repro.analysis.bursts).
         self.arrival_log: Optional[list] = None
+        # Active tracer captured at construction; None (the default)
+        # keeps every emit site a single identity check.
+        self._trace = current_tracer()
 
     def enqueue(self, packet: Packet) -> bool:
         raise NotImplementedError
@@ -106,6 +110,9 @@ class QueueDiscipline:
         self.stats.record_drop(packet)
         if self.on_drop is not None:
             self.on_drop(packet, reason)
+        if self._trace is not None:
+            self._trace.drop(self.name, reason, int(packet.color),
+                             packet.flow_id)
 
 
 class DropTailQueue(QueueDiscipline):

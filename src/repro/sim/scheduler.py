@@ -167,6 +167,8 @@ class WeightedRoundRobinScheduler(QueueDiscipline):
                 stats = self.stats
                 stats.departures += 1
                 stats.departure_bytes += packet.size
+                if self._trace is not None:
+                    self._trace.wrr(turn, int(packet.color), deficits[turn])
                 return packet
             self._advance_turn()
         raise RuntimeError("WRR failed to make progress; quantum too small?")

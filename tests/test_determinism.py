@@ -14,9 +14,11 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 from repro.core.session import PelsScenario, PelsSimulation
-from repro.experiments.runner import _run_one, run_all
+from repro.experiments.runner import _run_one, main as runner_main, run_all
 from repro.experiments import ablations
 from repro.faults import FaultSchedule, LinkFlap, RouterRestart
+from repro.obs import (disable_profiling, enable_profiling, metrics,
+                       reset_profile, tracing)
 
 
 def _fingerprint(sim: PelsSimulation) -> dict:
@@ -93,6 +95,49 @@ class TestRunnerDeterminism:
         assert pooled.experiment_id == serial.experiment_id
         assert pooled.render() == serial.render()
         assert pooled.metrics == serial.metrics
+
+
+class TestInstrumentationDeterminism:
+    """Observability must not perturb a run: tracing, metrics and
+    profiling never schedule events or draw randomness, so an
+    instrumented run is event-for-event identical to a plain one."""
+
+    SCENARIO = dict(n_flows=2, duration=6.0, seed=7, ack_loss_rate=0.1)
+
+    def _plain(self) -> dict:
+        return _fingerprint(
+            PelsSimulation(PelsScenario(**self.SCENARIO)).run())
+
+    def test_traced_run_is_event_identical_to_plain(self):
+        plain = self._plain()
+        with tracing() as tracer, metrics():
+            traced = _fingerprint(
+                PelsSimulation(PelsScenario(**self.SCENARIO)).run())
+        assert traced == plain
+        assert len(tracer) > 0  # the tracer really was recording
+
+    def test_profiled_run_is_event_identical_to_plain(self):
+        plain = self._plain()
+        reset_profile()
+        enable_profiling()
+        try:
+            sim = PelsSimulation(PelsScenario(**self.SCENARIO)).run()
+        finally:
+            disable_profiling()
+            reset_profile()
+        assert sim.sim.profile, "profiling did not record"
+        assert _fingerprint(sim) == plain
+
+    def test_metrics_jsonl_identical_serial_and_jobs(self, tmp_path,
+                                                     capsys):
+        serial = tmp_path / "serial.jsonl"
+        pooled = tmp_path / "pooled.jsonl"
+        args = ["--fast", "--only", "T1,F2,A1"]
+        assert runner_main(args + ["--metrics-out", str(serial)]) == 0
+        assert runner_main(args + ["--jobs", "3",
+                                   "--metrics-out", str(pooled)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == pooled.read_bytes()
 
 
 class TestFaultedRunDeterminism:

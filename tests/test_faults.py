@@ -240,6 +240,43 @@ class TestFaultSchedule:
         with pytest.raises(RuntimeError):
             schedule.install(sim)
 
+    def test_reinstall_on_second_simulator_rejected(self):
+        # The applied-event log is append-only per install; re-arming
+        # the schedule on a fresh simulator would interleave two runs'
+        # fault logs.  This used to be accepted silently.
+        first, second = Simulator(seed=1), Simulator(seed=2)
+        link, _ = _link(first)
+        schedule = FaultSchedule().add(1.0, LinkDown(link))
+        schedule.install(first)
+        first.run(until=2.0)
+        with pytest.raises(RuntimeError,
+                           match="another simulator"):
+            schedule.install(second)
+        # The original run's log survives untouched and the second
+        # simulator got nothing armed.
+        assert schedule.applied == [(1.0, f"link-down:{link.name}")]
+        assert second.pending() == 0
+
+    def test_rejected_install_arms_nothing(self):
+        # Validation is atomic: a past-dated event anywhere in the
+        # schedule must leave the heap clean and the schedule
+        # reinstallable after the fix.
+        sim = Simulator(seed=1)
+        link, _ = _link(sim)
+        sim.run(until=5.0)
+        pending_before = sim.pending()
+        schedule = (FaultSchedule()
+                    .add(10.0, LinkDown(link))
+                    .add(1.0, LinkUp(link)))  # in the past
+        with pytest.raises(ValueError, match="in the past"):
+            schedule.install(sim)
+        assert sim.pending() == pending_before
+        schedule.events = [FaultEvent(10.0, LinkDown(link))]
+        schedule.install(sim)  # still installable once valid
+        sim.run(until=11.0)
+        assert [label for _, label in schedule.applied] == \
+               [f"link-down:{link.name}"]
+
     def test_add_after_install_rejected(self):
         sim = Simulator(seed=1)
         link, _ = _link(sim)
