@@ -4,6 +4,12 @@ PELS is explicitly independent of the congestion controller (paper,
 Section 5): any controller mapping loss feedback to a sending rate can
 drive a PELS source.  This module defines that contract and a small
 registry so experiments can select controllers by name.
+
+Controllers are also independent of the *clock*: every method takes
+``now`` as an explicit argument and nothing here schedules events, so
+the same controller instances run inside the discrete-event simulator
+and against the wall clock in :mod:`repro.live` (see
+:mod:`repro.core.clock` for the Clock protocol naming that contract).
 """
 
 from __future__ import annotations

@@ -3,6 +3,7 @@
 Installed as the ``pels`` console script::
 
     pels simulate --flows 4 --duration 60          # run a PELS session
+    pels live --flows 2 --duration 5               # wall-clock UDP session
     pels fluid --flows 1000 --duration 120         # fluid-model fast path
     pels experiments --fast --only T1,F7,S1        # regenerate artifacts
     pels analyze --loss 0.1 --frame 100            # closed-form numbers
@@ -21,11 +22,23 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _controller_names() -> List[str]:
+    """Registered congestion-controller names, for ``choices=``.
+
+    Resolved at parser-build time from the controller registry, so a
+    typo'd ``--controller`` fails inside argparse (with the valid names
+    listed) instead of deep inside a running session.
+    """
+    from .cc import available_controllers
+    return available_controllers()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pels",
         description="PELS (ICDCS 2004) reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
+    controllers = _controller_names()
 
     sim = sub.add_parser("simulate", help="run a PELS bar-bell session")
     sim.add_argument("--flows", type=int, default=2)
@@ -39,11 +52,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="target red-queue loss")
     sim.add_argument("--sigma", type=float, default=0.5,
                      help="gamma controller gain")
-    sim.add_argument("--controller", default="mkc",
-                     help="congestion controller (mkc/aimd/tfrc/kelly)")
+    sim.add_argument("--controller", default="mkc", choices=controllers,
+                     help="congestion controller")
     sim.add_argument("--cross-traffic", default="cbr",
                      choices=["cbr", "tcp", "none"])
     sim.add_argument("--json", default="", help="write summary JSON here")
+
+    live = sub.add_parser(
+        "live",
+        help="run the PELS stack over real UDP sockets (wall clock)",
+        description="Stream synthetic FGS video from an asyncio server "
+                    "through a userspace software router (tri-color "
+                    "strict-priority + WRR, Eq. 11 labels) to a client, "
+                    "all on loopback UDP under time.monotonic, and "
+                    "compare the converged rate to the Lemma 6 oracle "
+                    "r* = C/N + alpha/beta.")
+    live.add_argument("--flows", type=int, default=2)
+    live.add_argument("--duration", type=float, default=5.0,
+                      help="wall-clock streaming seconds")
+    live.add_argument("--alpha", type=float, default=20_000.0,
+                      help="MKC additive gain (b/s)")
+    live.add_argument("--beta", type=float, default=0.5,
+                      help="MKC multiplicative gain")
+    live.add_argument("--p-thr", type=float, default=0.75,
+                      help="target red-queue loss")
+    live.add_argument("--sigma", type=float, default=0.5,
+                      help="gamma controller gain")
+    live.add_argument("--controller", default="mkc", choices=controllers,
+                      help="congestion controller")
+    live.add_argument("--bottleneck", type=float, default=4_000_000.0,
+                      help="bottleneck link rate (b/s); PELS gets the "
+                           "WRR share of it")
+    live.add_argument("--interval", type=float, default=0.030,
+                      help="feedback computation period T (s)")
+    live.add_argument("--cross-traffic", default="cbr",
+                      choices=["cbr", "none"])
+    live.add_argument("--json", default="", help="write summary JSON here")
 
     fld = sub.add_parser("fluid",
                          help="epoch-batched fluid run (paper recurrences, "
@@ -144,6 +188,38 @@ def _cmd_simulate(args) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_live(args) -> int:
+    from .live.session import LiveConfig, build_live_report, run_live_session
+
+    config = LiveConfig(
+        n_flows=args.flows, duration=args.duration,
+        controller_name=args.controller, alpha_bps=args.alpha,
+        beta=args.beta, p_thr=args.p_thr, sigma=args.sigma,
+        bottleneck_bps=args.bottleneck,
+        feedback_interval=args.interval,
+        cross_traffic=args.cross_traffic)
+    result = run_live_session(config)
+    # The live ramp from 128 kb/s eats ~2 s of wall clock; measure the
+    # steady state over the final 40% (see experiments/live_exp.py).
+    report = build_live_report(result, warmup_fraction=0.6)
+    print(report.render())
+    oracle = config.lemma6_rate_bps()
+    rates = [flow.mean_rate_bps for flow in report.flows]
+    mean_rate = sum(rates) / len(rates) if rates else 0.0
+    error = abs(mean_rate - oracle) / oracle if oracle else float("nan")
+    print(f"  Lemma 6 oracle: {oracle/1e3:.1f} kb/s per flow; live mean "
+          f"{mean_rate/1e3:.1f} kb/s (err {error*100:.1f}%)")
+    if args.json:
+        payload = report.to_dict()
+        payload["lemma6_rate_bps"] = oracle
+        payload["live_mean_rate_bps"] = mean_rate
+        payload["lemma6_error"] = error
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
         print(f"  report written to {args.json}")
     return 0
 
@@ -334,6 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args) -> int:
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "live":
+        return _cmd_live(args)
     if args.command == "fluid":
         return _cmd_fluid(args)
     if args.command == "analyze":

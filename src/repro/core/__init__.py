@@ -13,9 +13,10 @@
 """
 
 from .best_effort import BestEffortScenario, BestEffortSimulation
+from .clock import Clock, ManualClock, WallClock
 from .colors import (AllGreenMarkingPolicy, MarkingPolicy, NoRedMarkingPolicy,
                      PelsMarkingPolicy)
-from .feedback import FeedbackTracker, RouterFeedback
+from .feedback import FeedbackComputer, FeedbackTracker, RouterFeedback
 from .gamma import (GammaController, gamma_fixed_point, is_stable_sigma,
                     iterate_gamma, iterate_gamma_delayed, pels_utility_bound)
 from .multihop import MultiHopPelsSimulation, MultiHopScenario
@@ -29,7 +30,11 @@ __all__ = [
     "AllGreenMarkingPolicy",
     "BestEffortScenario",
     "BestEffortSimulation",
+    "Clock",
+    "FeedbackComputer",
     "FeedbackTracker",
+    "ManualClock",
+    "WallClock",
     "FlowReport",
     "GammaController",
     "MarkingPolicy",

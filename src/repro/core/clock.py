@@ -1,0 +1,74 @@
+"""The clock abstraction shared by the simulator and the live stack.
+
+Every control-plane component in this reproduction — the MKC rate
+controller (Eq. 8), the gamma controller (Eq. 4), the feedback
+freshness tracker (Section 5.2) and the Eq. 11 virtual-loss computer —
+is a pure function of the loss samples and timestamps it is handed.
+None of them schedules events or reads a global clock; they take ``now``
+as an argument.  That contract is what lets the same controller objects
+run both inside the discrete-event :class:`~repro.sim.engine.Simulator`
+and against the wall clock in :mod:`repro.live`.
+
+This module names the contract: a :class:`Clock` is anything with a
+``now`` property returning seconds as a float.  The simulator already
+satisfies it (``Simulator.now``); :class:`WallClock` is the real-time
+implementation the live stack uses (monotonic, origin at construction,
+immune to NTP steps); :class:`ManualClock` is a hand-advanced clock for
+deterministic unit tests of wall-clock code paths.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "WallClock", "ManualClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything exposing monotonic seconds as ``.now``.
+
+    Satisfied structurally by :class:`~repro.sim.engine.Simulator`
+    (virtual time), :class:`WallClock` (real time) and
+    :class:`ManualClock` (test time) — callers holding a ``Clock``
+    cannot tell which world they run in, which is the point.
+    """
+
+    @property
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class WallClock:
+    """Real time in seconds since construction.
+
+    Backed by ``time.monotonic`` so the origin is stable under system
+    clock adjustments; starting at zero keeps live timestamps in the
+    same magnitude range as simulator timestamps, so series recorded
+    against either clock render and compare identically.
+    """
+
+    __slots__ = ("_origin",)
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+
+class ManualClock:
+    """A clock that only moves when told to (unit tests)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("clocks do not run backwards")
+        self.now += dt
+        return self.now

@@ -17,13 +17,104 @@ Implements Section 5.2:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from ..sim.engine import Process, Simulator
 from ..sim.packet import FeedbackLabel, Packet
 from ..sim.stats import TimeSeries
 
-__all__ = ["RouterFeedback", "FeedbackTracker"]
+__all__ = ["FeedbackComputer", "RouterFeedback", "FeedbackTracker"]
+
+
+class FeedbackComputer:
+    """The pure Eq. 11 state machine, independent of any event loop.
+
+    Holds everything a PELS router needs to publish feedback — the
+    sliding byte-count window, the epoch counter ``z``, the current
+    virtual loss ``p`` and the ``(router_id, z, p)`` label — but never
+    schedules anything and never reads a clock.  The caller counts the
+    PELS bytes of each interval and hands them to :meth:`close`; in the
+    simulator that caller is :class:`RouterFeedback` on the event heap,
+    in :mod:`repro.live` it is an asyncio task on the wall clock.
+
+    Wall-clock callers pass the *measured* interval length as
+    ``elapsed`` so timer jitter (an asyncio sleep that overshoots T)
+    cannot masquerade as an arrival-rate change: Eq. 11 then divides by
+    the time that actually passed.  Simulator callers omit it and get
+    the exact historical arithmetic.
+    """
+
+    __slots__ = ("capacity_bps", "interval", "window_intervals",
+                 "router_id", "epoch", "loss", "rate_bps", "restarts",
+                 "_window", "_spans", "label")
+
+    def __init__(self, capacity_bps: float, interval: float = 0.030,
+                 router_id: int = 1, window_intervals: int = 5) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        if interval <= 0:
+            raise ValueError("feedback interval must be positive")
+        if window_intervals < 1:
+            raise ValueError("window must cover at least one interval")
+        self.capacity_bps = capacity_bps
+        self.interval = interval
+        self.window_intervals = window_intervals
+        self.router_id = router_id
+        self.epoch = 0
+        self.loss = 0.0
+        self.rate_bps = 0.0
+        self.restarts = 0
+        self._window: List[int] = []
+        #: Measured interval lengths parallel to ``_window``; ``None``
+        #: marks a nominal-T interval (simulator path).  Kept separate
+        #: so the all-nominal case reproduces the historical
+        #: ``len(window) * interval`` product bit for bit.
+        self._spans: List[Optional[float]] = []
+        self.label = FeedbackLabel(self.router_id, self.epoch, self.loss)
+
+    def close(self, byte_count: int,
+              elapsed: Optional[float] = None) -> FeedbackLabel:
+        """Close one interval ``T``: Eq. 11 update of (R, p, z).
+
+        ``byte_count`` is the PELS bytes that arrived during the
+        interval; ``elapsed`` the measured interval length (wall-clock
+        callers), or ``None`` for exactly ``interval``.  Returns the new
+        label, shared by every packet stamped in the new epoch.
+        """
+        self._window.append(byte_count)
+        self._spans.append(elapsed)
+        if len(self._window) > self.window_intervals:
+            self._window.pop(0)
+            self._spans.pop(0)
+        if any(span is not None for span in self._spans):
+            span = sum(self.interval if s is None else s
+                       for s in self._spans)
+        else:
+            span = len(self._window) * self.interval
+        rate = sum(self._window) * 8 / span if span > 0 else 0.0
+        self.rate_bps = rate
+        self.loss = max(0.0, (rate - self.capacity_bps) / rate) \
+            if rate > 0 else 0.0
+        self.epoch += 1
+        self.label = FeedbackLabel(self.router_id, self.epoch, self.loss)
+        return self.label
+
+    def restart(self, new_router_id: Optional[int] = None) -> None:
+        """Crash/reboot: all feedback state returns to boot values.
+
+        See :meth:`RouterFeedback.restart` for the epoch-freshness
+        consequences the paper's ``(router_id, z)`` scheme exists to
+        survive.
+        """
+        if new_router_id is not None:
+            self.router_id = new_router_id
+        self.epoch = 0
+        self.loss = 0.0
+        self.rate_bps = 0.0
+        self._window.clear()
+        self._spans.clear()
+        self.label = FeedbackLabel(self.router_id, self.epoch, self.loss)
+        self.restarts += 1
 
 
 class RouterFeedback(Process):
@@ -45,14 +136,11 @@ class RouterFeedback(Process):
                  interval: float = 0.030, router_id: Optional[int] = None,
                  window_intervals: int = 5, name: str = "") -> None:
         super().__init__(sim, name or "router-feedback")
-        if capacity_bps <= 0:
-            raise ValueError("capacity must be positive")
-        if interval <= 0:
-            raise ValueError("feedback interval must be positive")
-        if window_intervals < 1:
-            raise ValueError("window must cover at least one interval")
-        self.capacity_bps = capacity_bps
-        self.interval = interval
+        # Allocated per-simulator so router ids in reports don't depend
+        # on process history (see Simulator.next_id); starts at 1 so 0
+        # never collides with a FeedbackTracker that has seen no label.
+        resolved_id = router_id if router_id is not None \
+            else sim.next_id("router-feedback", start=1)
         #: The arrival rate R is averaged over the last
         #: ``window_intervals`` measurement intervals before Eq. 11 is
         #: applied.  Publishing the raw per-T value (window = 1) adds a
@@ -61,22 +149,18 @@ class RouterFeedback(Process):
         #: which in turn breaks the p_R -> p_thr convergence of Lemma 4
         #: when the true overload is only a few percent.  A short
         #: sliding window removes the bias while keeping the epoch
-        #: cadence at T.
-        self.window_intervals = window_intervals
-        self._window: list[int] = []
-        # Allocated per-simulator so router ids in reports don't depend
-        # on process history (see Simulator.next_id); starts at 1 so 0
-        # never collides with a FeedbackTracker that has seen no label.
-        self.router_id = router_id if router_id is not None \
-            else sim.next_id("router-feedback", start=1)
-        self.epoch = 0
-        self.loss = 0.0
-        self.restarts = 0
+        #: cadence at T.  The window (and all other Eq. 11 state) lives
+        #: in the clock-free FeedbackComputer shared with the live
+        #: stack; this process only supplies the event-heap cadence.
+        self.computer = FeedbackComputer(
+            capacity_bps, interval=interval, router_id=resolved_id,
+            window_intervals=window_intervals)
+        self.interval = interval
         self._byte_counter = 0
         # One label object per epoch, shared by every packet stamped in
         # that epoch (stamp_feedback copies on override, so sharing is
         # safe) — the per-packet allocation was a router hot-path cost.
-        self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
+        self._label = self.computer.label
         self.loss_series = TimeSeries("virtual-loss")
         self.rate_series = TimeSeries("pels-arrival-rate")
         #: Observability: the simulator's tracer (None when off) and an
@@ -85,6 +169,37 @@ class RouterFeedback(Process):
         self._trace = sim.tracer
         self.epoch_hook: Optional[Callable[["RouterFeedback"], None]] = None
         self._timer = self.every(interval, self._compute, start_delay=interval)
+
+    # Delegated Eq. 11 state: reports, faults and the WRR renegotiation
+    # knob all read (and, for capacity, write) these on the process.
+
+    @property
+    def capacity_bps(self) -> float:
+        return self.computer.capacity_bps
+
+    @capacity_bps.setter
+    def capacity_bps(self, value: float) -> None:
+        self.computer.capacity_bps = value
+
+    @property
+    def router_id(self) -> int:
+        return self.computer.router_id
+
+    @property
+    def epoch(self) -> int:
+        return self.computer.epoch
+
+    @property
+    def loss(self) -> float:
+        return self.computer.loss
+
+    @property
+    def restarts(self) -> int:
+        return self.computer.restarts
+
+    @property
+    def window_intervals(self) -> int:
+        return self.computer.window_intervals
 
     def observe(self, packet: Packet) -> None:
         """Router packet hook: count PELS bytes and stamp the label."""
@@ -95,19 +210,15 @@ class RouterFeedback(Process):
 
     def _compute(self) -> None:
         """Close interval ``T``: Eq. 11 update of (R, p, z, S)."""
-        self._window.append(self._byte_counter)
+        computer = self.computer
+        self._label = computer.close(self._byte_counter)
         self._byte_counter = 0
-        if len(self._window) > self.window_intervals:
-            self._window.pop(0)
-        rate = sum(self._window) * 8 / (len(self._window) * self.interval)
-        self.loss = max(0.0, (rate - self.capacity_bps) / rate) if rate > 0 else 0.0
-        self.epoch += 1
-        self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
-        self.loss_series.record(self.sim.now, self.loss)
+        rate = computer.rate_bps
+        self.loss_series.record(self.sim.now, computer.loss)
         self.rate_series.record(self.sim.now, rate)
         if self._trace is not None:
-            self._trace.epoch(self.sim.now, self.router_id, self.epoch,
-                              rate, self.loss)
+            self._trace.epoch(self.sim.now, computer.router_id,
+                              computer.epoch, rate, computer.loss)
         hook = self.epoch_hook
         if hook is not None:
             hook(self)
@@ -124,14 +235,9 @@ class RouterFeedback(Process):
         ``new_router_id`` models a route change to a different box
         instead; sources then adopt the new clock immediately.
         """
-        if new_router_id is not None:
-            self.router_id = new_router_id
-        self.epoch = 0
-        self.loss = 0.0
+        self.computer.restart(new_router_id)
         self._byte_counter = 0
-        self._window.clear()
-        self._label = FeedbackLabel(self.router_id, self.epoch, self.loss)
-        self.restarts += 1
+        self._label = self.computer.label
 
     def stop(self) -> None:
         self._timer.stop()

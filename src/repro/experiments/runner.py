@@ -37,7 +37,8 @@ from pathlib import Path
 
 from . import (ablations, bursts_exp, chaos, closed_loop_be, deadlines,
                fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
-               heterogeneous, multihop, rd_smoothing, scaling, table1)
+               heterogeneous, live_exp, multihop, rd_smoothing, scaling,
+               table1)
 from .common import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "run_all", "main"]
@@ -59,6 +60,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "X7": fec_comparison.run,
     "S1": scaling.run,
     "R1": chaos.run,
+    "L1": live_exp.run,
 }
 
 _REGISTRY: Optional[Dict[str, Callable[..., ExperimentResult]]] = None

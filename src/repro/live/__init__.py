@@ -1,0 +1,61 @@
+"""repro.live — the PELS stack over real UDP sockets and a wall clock.
+
+Everything else in this repository runs inside the discrete-event
+simulator; this package is the second leg the paper's own evaluation
+methodology implies: the same controllers (Eq. 8 MKC, Eq. 4 gamma), the
+same Eq. 11 virtual-loss feedback and the same tri-color strict-priority
+AQM, but executed as asyncio tasks against ``time.monotonic`` with
+datagrams crossing real loopback sockets.  If the equations only held
+under the simulator's perfectly punctual timers, they would be a
+modelling artifact; the ``L1`` experiment shows the live equilibrium
+lands on the Lemma 6 oracle anyway.
+
+Topology (one process, three UDP endpoints on 127.0.0.1)::
+
+    LiveServer ──data──▶ LiveRouter ──data──▶ LiveClient
+        ▲                                          │
+        └────────────── ACKs (direct) ◀────────────┘
+
+* :mod:`~repro.live.wire` — the struct-packed binary header carrying
+  flow id, seq, color and the ``(router_id, z, p)`` feedback label.
+* :mod:`~repro.live.router` — userspace software router: tri-color
+  strict-priority PELS queue + Internet FIFO under deficit WRR,
+  token-bucket capacity pacing, Eq. 11 label stamping every T wall
+  seconds (via the clock-free
+  :class:`~repro.core.feedback.FeedbackComputer`).
+* :mod:`~repro.live.server` — packetizes synthetic FGS frames with
+  :func:`repro.video.fgs.plan_frame` and drives the registered
+  congestion controller plus the gamma controller from real-time ACKs.
+* :mod:`~repro.live.client` — measures per-color one-way delay, keeps
+  frame receptions for offline PSNR reconstruction, echoes the freshest
+  label back to the server.
+* :mod:`~repro.live.session` — wires the three together on loopback,
+  runs for a wall-clock duration and emits a
+  :class:`~repro.core.report.SessionReport`.
+
+The reverse (ACK) path deliberately bypasses the router, mirroring the
+simulator's uncongested-reverse-path model (DESIGN.md §5).
+"""
+
+from .client import LiveClient
+from .router import LiveRouter
+from .server import LiveServer
+from .session import (LiveConfig, LiveSessionResult, build_live_report,
+                      run_live_session)
+from .wire import (HEADER_SIZE, LivePacket, WireFormatError, decode_packet,
+                   encode_packet)
+
+__all__ = [
+    "HEADER_SIZE",
+    "LiveClient",
+    "LiveConfig",
+    "LivePacket",
+    "LiveRouter",
+    "LiveServer",
+    "LiveSessionResult",
+    "WireFormatError",
+    "build_live_report",
+    "decode_packet",
+    "encode_packet",
+    "run_live_session",
+]

@@ -1,0 +1,290 @@
+"""The userspace software router: Fig. 4's output port over real UDP.
+
+One asyncio datagram endpoint plays the bottleneck router: datagrams
+arriving from the server are classified into the tri-color PELS queues
+(green, yellow, red — served strict-priority) or the Internet FIFO, and
+a service task drains the composite under deficit weighted round-robin,
+paced by a token bucket filled at the bottleneck link rate.  Every
+``T`` wall-seconds an epoch task closes the Eq. 11 measurement interval
+through the clock-free :class:`~repro.core.feedback.FeedbackComputer`
+(the same object the simulator's ``RouterFeedback`` drives from the
+event heap) and the fresh ``(router_id, z, p)`` label is stamped into
+every PELS datagram on the forwarding path with the max-loss override
+rule.
+
+Two deliberate wall-clock defenses:
+
+* the epoch task passes the *measured* interval length to
+  ``FeedbackComputer.close`` so asyncio timer jitter cannot read as an
+  arrival-rate change;
+* the service task is credit-based — each wake-up converts elapsed time
+  into byte tokens and drains whatever they cover — so sleep overshoot
+  shifts service in bursts but never loses capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.clock import Clock
+from ..core.feedback import FeedbackComputer
+from ..core.pels_queue import PelsQueueConfig
+from ..obs.metrics import current_registry
+from ..obs.trace import current_tracer
+from ..sim.packet import Color
+from ..sim.stats import TimeSeries
+from .wire import HEADER_SIZE, peek_color, stamp_label
+
+__all__ = ["LiveRouter"]
+
+#: Queue service order inside the PELS aggregate (strict priority).
+_PELS_COLORS = (Color.GREEN, Color.YELLOW, Color.RED)
+
+
+class LiveRouter(asyncio.DatagramProtocol):
+    """Tri-color strict-priority + FIFO under WRR, on a wall clock.
+
+    Parameters
+    ----------
+    clock:
+        The session :class:`~repro.core.clock.Clock` (shared with the
+        server and client so one-way delays are measurable).
+    bottleneck_bps:
+        Raw link rate of the output port; WRR splits it between the
+        PELS aggregate and the Internet FIFO per ``config``.
+    config:
+        Buffer sizes and WRR weights — the same
+        :class:`~repro.core.pels_queue.PelsQueueConfig` the simulator
+        uses, so live and simulated bottlenecks are parameterized
+        identically.
+    interval:
+        ``T``, the Eq. 11 feedback computation period (wall seconds).
+    router_id:
+        Label identity; must be >= 1 (0 marks "never stamped").
+    service_tick:
+        Target sleep of the token-bucket service loop.  Each wake
+        drains every packet the accumulated credit covers, so the tick
+        bounds burstiness, not throughput.
+    """
+
+    def __init__(self, clock: Clock, bottleneck_bps: float,
+                 config: Optional[PelsQueueConfig] = None,
+                 interval: float = 0.030, router_id: int = 1,
+                 window_intervals: int = 5,
+                 service_tick: float = 0.002) -> None:
+        if bottleneck_bps <= 0:
+            raise ValueError("bottleneck rate must be positive")
+        if router_id < 1:
+            raise ValueError("router ids start at 1 (0 = unstamped)")
+        if service_tick <= 0:
+            raise ValueError("service tick must be positive")
+        self.clock = clock
+        self.bottleneck_bps = bottleneck_bps
+        self.config = config or PelsQueueConfig()
+        self.interval = interval
+        self.service_tick = service_tick
+        self.feedback = FeedbackComputer(
+            bottleneck_bps * self.config.pels_share(), interval=interval,
+            router_id=router_id, window_intervals=window_intervals)
+        self._pels_bytes = 0
+
+        cfg = self.config
+        #: Per-color drop-tail queues of raw datagrams (as bytearrays,
+        #: so labels can be stamped in place at service time).
+        self._queues: Dict[Color, Deque[bytearray]] = {
+            Color.GREEN: deque(), Color.YELLOW: deque(),
+            Color.RED: deque(), Color.BEST_EFFORT: deque(),
+        }
+        self._limits = {Color.GREEN: cfg.green_buffer,
+                        Color.YELLOW: cfg.yellow_buffer,
+                        Color.RED: cfg.red_buffer,
+                        Color.BEST_EFFORT: cfg.internet_buffer}
+        self.arrivals = {color: 0 for color in self._queues}
+        self.drops = {color: 0 for color in self._queues}
+        self.forwarded = {color: 0 for color in self._queues}
+        # Deficit WRR between the PELS aggregate and the Internet FIFO,
+        # mirroring WeightedRoundRobinScheduler: each aggregate earns
+        # quantum * weight per round and spends it in bytes.
+        total = cfg.pels_weight + cfg.internet_weight
+        self._quanta = (cfg.quantum_bytes * cfg.pels_weight / total,
+                        cfg.quantum_bytes * cfg.internet_weight / total)
+        self._deficit = [0.0, 0.0]
+        self._wrr_turn = 0
+
+        self.dst_addr: Optional[Tuple[str, int]] = None
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.loss_series = TimeSeries("virtual-loss")
+        self.rate_series = TimeSeries("pels-arrival-rate")
+        self._trace = current_tracer()
+        registry = current_registry()
+        self._forwarded_counter = registry.counter("live_router_forwarded") \
+            if registry is not None else None
+        self._tasks: List[asyncio.Task] = []
+        self._running = False
+
+    # -- asyncio protocol --------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        """Classify + enqueue; malformed datagrams are dropped."""
+        if len(data) < HEADER_SIZE:
+            return
+        try:
+            color = Color(peek_color(data))
+        except ValueError:
+            return
+        self.arrivals[color] += 1
+        if color is not Color.BEST_EFFORT:
+            # Eq. 11 counts PELS arrivals at the port, before any drop,
+            # exactly as RouterFeedback.observe counts in the simulator.
+            self._pels_bytes += len(data)
+        queue = self._queues[color]
+        if len(queue) >= self._limits[color]:
+            self.drops[color] += 1
+            if self._trace is not None:
+                self._trace.drop("live-router", "overflow", int(color), -1)
+            return
+        queue.append(bytearray(data))
+        if self._trace is not None:
+            self._trace.enqueue("live-router", int(color), -1, True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the service and epoch tasks (call once, inside a loop)."""
+        if self._running:
+            raise RuntimeError("router already started")
+        self._running = True
+        self._tasks = [asyncio.ensure_future(self._serve()),
+                       asyncio.ensure_future(self._epochs())]
+
+    async def stop(self) -> None:
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    # -- service path ------------------------------------------------------
+
+    def _dequeue_pels(self) -> Optional[bytearray]:
+        for color in _PELS_COLORS:
+            queue = self._queues[color]
+            if queue:
+                self.forwarded[color] += 1
+                if self._trace is not None:
+                    self._trace.dequeue("live-router", int(color), -1)
+                return queue.popleft()
+        return None
+
+    def _dequeue_internet(self) -> Optional[bytearray]:
+        queue = self._queues[Color.BEST_EFFORT]
+        if queue:
+            self.forwarded[Color.BEST_EFFORT] += 1
+            return queue.popleft()
+        return None
+
+    def _next_datagram(self) -> Optional[bytearray]:
+        """One deficit-WRR service decision across the two aggregates."""
+        for _ in range(2):
+            turn = self._wrr_turn
+            dequeue = self._dequeue_pels if turn == 0 \
+                else self._dequeue_internet
+            queue_empty = not any(self._queues[c] for c in _PELS_COLORS) \
+                if turn == 0 else not self._queues[Color.BEST_EFFORT]
+            if queue_empty:
+                # Empty aggregates forfeit their deficit (standard DRR),
+                # so an idle Internet queue cannot bank credit.
+                self._deficit[turn] = 0.0
+                self._wrr_turn = 1 - turn
+                continue
+            head_size = len(self._head(turn))
+            if self._deficit[turn] < head_size:
+                self._deficit[turn] += self._quanta[turn]
+                if self._deficit[turn] < head_size:
+                    self._wrr_turn = 1 - turn
+                    continue
+            datagram = dequeue()
+            assert datagram is not None
+            self._deficit[turn] -= len(datagram)
+            return datagram
+        return None
+
+    def _head(self, turn: int) -> bytearray:
+        if turn == 1:
+            return self._queues[Color.BEST_EFFORT][0]
+        for color in _PELS_COLORS:
+            if self._queues[color]:
+                return self._queues[color][0]
+        raise AssertionError("head() on empty aggregate")
+
+    async def _serve(self) -> None:
+        """Token-bucket pacing at the bottleneck link rate."""
+        bytes_per_second = self.bottleneck_bps / 8
+        # Credit cap: a few ticks' worth, so an idle link can absorb a
+        # burst without ever exceeding the configured average rate.
+        burst_bytes = max(4 * bytes_per_second * self.service_tick,
+                          2 * self.config.quantum_bytes)
+        credit = 0.0
+        last = self.clock.now
+        while self._running:
+            await asyncio.sleep(self.service_tick)
+            now = self.clock.now
+            credit = min(credit + (now - last) * bytes_per_second,
+                         burst_bytes)
+            last = now
+            while True:
+                pending = self._next_datagram()
+                if pending is None:
+                    break
+                if credit < len(pending):
+                    # Put it back at the head: it was dequeued but the
+                    # link has no room for it yet this tick.
+                    color = Color(peek_color(pending))
+                    aggregate = Color.BEST_EFFORT \
+                        if color is Color.BEST_EFFORT else color
+                    self._queues[aggregate].appendleft(pending)
+                    self.forwarded[aggregate] -= 1
+                    self._deficit[0 if color is not Color.BEST_EFFORT
+                                  else 1] += len(pending)
+                    break
+                credit -= len(pending)
+                self._forward(pending)
+
+    def _forward(self, datagram: bytearray) -> None:
+        color = Color(peek_color(datagram))
+        if color is not Color.BEST_EFFORT:
+            stamp_label(datagram, self.feedback.label)
+        if self._forwarded_counter is not None:
+            self._forwarded_counter.inc()
+        if self.transport is not None and self.dst_addr is not None:
+            self.transport.sendto(bytes(datagram), self.dst_addr)
+
+    # -- Eq. 11 epochs -----------------------------------------------------
+
+    async def _epochs(self) -> None:
+        last = self.clock.now
+        while self._running:
+            await asyncio.sleep(self.interval)
+            now = self.clock.now
+            elapsed = now - last
+            last = now
+            label = self.feedback.close(self._pels_bytes, elapsed=elapsed)
+            self._pels_bytes = 0
+            self.loss_series.record(now, label.loss)
+            self.rate_series.record(now, self.feedback.rate_bps)
+            if self._trace is not None:
+                self._trace.epoch(now, label.router_id, label.epoch,
+                                  self.feedback.rate_bps, label.loss)
+
+    # -- introspection -----------------------------------------------------
+
+    def queue_depth(self, color: Color) -> int:
+        return len(self._queues[color])
+
+    def mean_virtual_loss(self, t_start: float = 0.0) -> float:
+        return self.loss_series.mean(t_start, float("inf"))

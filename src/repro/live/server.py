@@ -1,0 +1,275 @@
+"""The live PELS sender: FGS packetization + closed-loop control.
+
+One datagram endpoint hosts every flow of the session.  Per flow, an
+asyncio task runs the frame clock: at each frame boundary it plans the
+frame with the standard marking policy (green base, yellow/red FGS
+split at the current gamma — the exact :func:`repro.video.fgs.plan_frame`
+the simulator uses) sized by the congestion controller's current rate,
+then paces the plan out with a credit loop that re-reads the controller
+rate continuously, so rate changes take effect within a few packet
+times, mirroring ``PelsSource``'s adaptive pacing.  If the rate drops
+mid-frame the unsent tail is truncated at the frame deadline — FGS
+truncation semantics.
+
+ACKs from the client arrive on the same endpoint (the reverse path
+bypasses the router).  Each ACK carries the label the client saw last;
+the per-flow :class:`~repro.core.feedback.FeedbackTracker` admits each
+router epoch once, and a fresh loss sample drives the registered rate
+controller (Eq. 8 for MKC) and the Eq. 4 gamma controller — the same
+controller *objects* the simulator drives, exercised here against
+``time.monotonic`` (see :mod:`repro.core.clock`).
+
+An optional CBR task keeps the Internet FIFO backlogged (best-effort
+color, its own flow id) so WRR grants the PELS aggregate exactly its
+configured share, as in the simulator's default scenario.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from ..cc.base import RateController, make_controller
+from ..core.clock import Clock
+from ..core.colors import PelsMarkingPolicy
+from ..core.feedback import FeedbackTracker
+from ..core.gamma import GammaController
+from ..obs.trace import current_tracer
+from ..sim.packet import Color
+from ..sim.stats import TimeSeries
+from ..video.fgs import FgsConfig, PacketPlan
+from .wire import HEADER_SIZE, LivePacket, WireFormatError, decode_packet, \
+    encode_packet
+
+__all__ = ["LiveFlow", "LiveServer", "CROSS_TRAFFIC_FLOW_ID"]
+
+#: Flow id of the best-effort CBR cross traffic (kept far away from the
+#: PELS flow ids, which count from 0).
+CROSS_TRAFFIC_FLOW_ID = 10_000
+
+#: Golden-ratio frame-clock phasing, as in PelsScenario.frame_phase_of:
+#: decorrelates the flows' plan instants while staying deterministic.
+_GOLDEN = 0.6180339887
+
+
+class LiveFlow:
+    """Sender-side state of one live PELS flow."""
+
+    def __init__(self, flow_id: int, controller: RateController,
+                 gamma_controller: GammaController,
+                 fgs: FgsConfig) -> None:
+        self.flow_id = flow_id
+        self.controller = controller
+        self.gamma_controller = gamma_controller
+        self.fgs = fgs
+        self.marking_policy = PelsMarkingPolicy(fgs)
+        self.tracker = FeedbackTracker()
+        self.rate_series = TimeSeries(f"rate-flow{flow_id}")
+        self.gamma_series = TimeSeries(f"gamma-flow{flow_id}")
+        self.loss_series = TimeSeries(f"loss-flow{flow_id}")
+        self.next_seq = 0
+        self.frame_id = -1
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.acks_received = 0
+        #: frame_id -> (green, yellow, red) counts actually emitted.
+        self.frame_log: Dict[int, Tuple[int, int, int]] = {}
+
+    @property
+    def rate_bps(self) -> float:
+        return self.controller.rate_bps
+
+    @property
+    def gamma(self) -> float:
+        return self.gamma_controller.gamma
+
+
+class LiveServer(asyncio.DatagramProtocol):
+    """All sending flows of a live session behind one UDP endpoint.
+
+    Parameters mirror the simulator's ``PelsScenario`` controller /
+    gamma blocks; ``controller_kwargs`` is passed verbatim to
+    :func:`repro.cc.base.make_controller`.
+    """
+
+    def __init__(self, clock: Clock, n_flows: int,
+                 controller_name: str = "mkc",
+                 controller_kwargs: Optional[dict] = None,
+                 gamma_kwargs: Optional[dict] = None,
+                 fgs: Optional[FgsConfig] = None,
+                 cbr_rate_bps: float = 0.0,
+                 pace_tick: float = 0.005) -> None:
+        if n_flows < 1:
+            raise ValueError("need at least one live flow")
+        if pace_tick <= 0:
+            raise ValueError("pace tick must be positive")
+        self.clock = clock
+        self.fgs = fgs or FgsConfig(frame_packets=256)
+        self.pace_tick = pace_tick
+        self.cbr_rate_bps = cbr_rate_bps
+        self.flows: Dict[int, LiveFlow] = {}
+        for flow_id in range(n_flows):
+            self.flows[flow_id] = LiveFlow(
+                flow_id,
+                make_controller(controller_name, **(controller_kwargs or {})),
+                GammaController(**(gamma_kwargs or {})),
+                self.fgs)
+        self.dst_addr: Optional[Tuple[str, int]] = None
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.cross_packets_sent = 0
+        self._trace = current_tracer()
+        self._tasks: List[asyncio.Task] = []
+        self._running = False
+
+    # -- asyncio protocol --------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        """Feedback path: ACKs echoing the freshest router label."""
+        try:
+            packet = decode_packet(data)
+        except WireFormatError:
+            return
+        if not packet.is_ack:
+            return
+        flow = self.flows.get(packet.flow_id)
+        if flow is None:
+            return
+        flow.acks_received += 1
+        loss = flow.tracker.accept(packet.label)
+        if loss is None:
+            return
+        now = self.clock.now
+        flow.controller.on_feedback(loss, now)
+        flow.gamma_controller.update(loss)
+        flow.loss_series.record(now, loss)
+        flow.rate_series.record(now, flow.controller.rate_bps)
+        flow.gamma_series.record(now, flow.gamma_controller.gamma)
+        if self._trace is not None:
+            self._trace.rate(now, flow.flow_id, loss,
+                             flow.controller.rate_bps)
+            self._trace.gamma_step(now, flow.flow_id,
+                                   flow.gamma_controller.gamma)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch one streaming task per flow (plus cross traffic)."""
+        if self._running:
+            raise RuntimeError("server already started")
+        self._running = True
+        self._tasks = [asyncio.ensure_future(self._stream(flow))
+                       for flow in self.flows.values()]
+        if self.cbr_rate_bps > 0:
+            self._tasks.append(asyncio.ensure_future(self._cross_traffic()))
+
+    async def stop(self) -> None:
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    # -- transmit path -----------------------------------------------------
+
+    async def _stream(self, flow: LiveFlow) -> None:
+        """The frame clock of one flow: plan, then pace adaptively."""
+        interval = flow.fgs.frame_interval
+        await asyncio.sleep((flow.flow_id * _GOLDEN) % 1.0 * interval)
+        while self._running:
+            frame_start = self.clock.now
+            deadline = frame_start + interval
+            rate = flow.controller.rate_bps
+            gamma = flow.gamma_controller.gamma
+            flow.frame_id += 1
+            flow.frames_sent += 1
+            flow.rate_series.record(frame_start, rate)
+            flow.gamma_series.record(frame_start, gamma)
+            plan = flow.marking_policy.plan(rate, gamma)
+            counts = [0, 0, 0]
+            await self._pace(flow, plan, deadline, counts)
+            flow.frame_log[flow.frame_id] = (counts[0], counts[1], counts[2])
+            remaining = deadline - self.clock.now
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+
+    async def _pace(self, flow: LiveFlow, plan: List[PacketPlan],
+                    deadline: float, counts: List[int]) -> None:
+        """Credit-paced emission at the *instantaneous* controller rate.
+
+        Each wake-up converts elapsed wall time into byte credit at the
+        rate the controller holds right now, so a mid-frame rate change
+        (a fresh ACK) alters the pacing within one tick.  Credit is
+        capped at a handful of packets: a long scheduler stall produces
+        a small burst, never an unbounded one.
+        """
+        pos = 0
+        credit = float(self.fgs.packet_size)  # first packet goes now
+        cap = 8.0 * self.fgs.packet_size
+        last = self.clock.now
+        while pos < len(plan) and self._running:
+            now = self.clock.now
+            if now >= deadline:
+                return  # FGS truncation: the red-most tail is unsent
+            credit = min(cap,
+                         credit + (now - last) *
+                         flow.controller.rate_bps / 8)
+            last = now
+            while pos < len(plan) and credit >= plan[pos].size:
+                self._emit(flow, plan[pos], counts)
+                credit -= plan[pos].size
+                pos += 1
+            if pos < len(plan):
+                await asyncio.sleep(min(self.pace_tick,
+                                        max(0.0, deadline - now)))
+
+    def _emit(self, flow: LiveFlow, plan: PacketPlan,
+              counts: List[int]) -> None:
+        packet = LivePacket(flow_id=flow.flow_id, seq=flow.next_seq,
+                            color=plan.color, frame_id=flow.frame_id,
+                            index_in_frame=plan.index_in_frame,
+                            sent_at=self.clock.now, size=plan.size)
+        flow.next_seq += 1
+        flow.packets_sent += 1
+        flow.bytes_sent += plan.size
+        if plan.color is Color.GREEN:
+            counts[0] += 1
+        elif plan.color is Color.YELLOW:
+            counts[1] += 1
+        else:
+            counts[2] += 1
+        if self.transport is not None and self.dst_addr is not None:
+            self.transport.sendto(encode_packet(packet), self.dst_addr)
+
+    async def _cross_traffic(self) -> None:
+        """Best-effort CBR keeping the Internet FIFO backlogged."""
+        size = self.fgs.packet_size
+        seq = 0
+        credit = 0.0
+        last = self.clock.now
+        while self._running:
+            await asyncio.sleep(self.pace_tick)
+            now = self.clock.now
+            credit = min(8.0 * size,
+                         credit + (now - last) * self.cbr_rate_bps / 8)
+            last = now
+            while credit >= size:
+                credit -= size
+                packet = LivePacket(flow_id=CROSS_TRAFFIC_FLOW_ID, seq=seq,
+                                    color=Color.BEST_EFFORT,
+                                    sent_at=now, size=size)
+                seq += 1
+                self.cross_packets_sent += 1
+                if self.transport is not None and self.dst_addr is not None:
+                    self.transport.sendto(encode_packet(packet),
+                                          self.dst_addr)
+
+    # -- introspection -----------------------------------------------------
+
+    def enhancement_sent_per_frame(self, flow_id: int) -> Dict[int, int]:
+        """frame_id -> FGS (yellow + red) packets actually emitted."""
+        return {frame: counts[1] + counts[2]
+                for frame, counts in self.flows[flow_id].frame_log.items()}

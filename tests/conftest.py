@@ -8,6 +8,27 @@ from repro.core.session import PelsScenario, PelsSimulation
 from repro.sim.engine import Simulator
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--live", action="store_true", default=False,
+        help="run wall-clock loopback tests (real UDP sockets, repro.live)")
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Skip ``live``-marked tests unless ``--live`` was passed.
+
+    Tier-1 stays fast and deterministic; the live tests bind real
+    sockets and sleep real seconds, so they are opt-in (the CI ``live``
+    job runs ``pytest --live -m live``).
+    """
+    if config.getoption("--live"):
+        return
+    skip_live = pytest.mark.skip(reason="needs --live (wall-clock UDP test)")
+    for item in items:
+        if "live" in item.keywords:
+            item.add_marker(skip_live)
+
+
 @pytest.fixture
 def sim() -> Simulator:
     """A fresh seeded simulator."""

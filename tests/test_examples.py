@@ -33,7 +33,7 @@ class TestExampleInventory:
             "quickstart.py", "video_quality_comparison.py",
             "flow_churn.py", "misbehaving_source.py",
             "controller_playground.py", "multi_bottleneck.py",
-            "fec_vs_pels.py",
+            "fec_vs_pels.py", "live_loopback.py",
         }
 
     def test_every_example_has_usage_docstring(self):
@@ -57,3 +57,13 @@ class TestSimulationExamples:
         out = capsys.readouterr().out
         assert "congestion control (Lemma 6)" in out
         assert "drops: green=0 yellow=0" in out
+
+
+@pytest.mark.live
+class TestLiveExamples:
+    def test_live_loopback_runs(self, capsys):
+        run_example("live_loopback.py", argv=["3"])
+        out = capsys.readouterr().out
+        assert "congestion control (Lemma 6, wall clock)" in out
+        assert "strict-priority delays" in out
+        assert "oracle" in out
