@@ -17,9 +17,10 @@ exhibit ``p_R -> p_thr``.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..cc.mkc import mkc_equilibrium_loss, mkc_stationary_rate
 from ..core.gamma import (gamma_fixed_point, is_stable_sigma, iterate_gamma,
@@ -30,6 +31,7 @@ from .best_effort import best_effort_utility, expected_useful_packets
 from .pels_model import pels_utility_lower_bound
 
 __all__ = [
+    "NetworkEquilibrium",
     "OracleVerdict",
     "draw_fluid_scenario",
     "draw_gamma_config",
@@ -42,6 +44,8 @@ __all__ = [
     "check_eq2_identity",
     "check_eq3_identity",
     "check_eq6_bound",
+    "check_network_equilibrium",
+    "network_equilibrium",
 ]
 
 
@@ -284,6 +288,125 @@ def check_eq6_bound(loss: float, p_thr: float,
         tolerance=tol,
         detail=f"p={loss:.4f} p_thr={p_thr:.3f} agree={agree} "
                f"in_range={in_range} dominates={dominates}")
+
+
+# -- multi-bottleneck network equilibrium (Lemma 6 generalized) ---------------
+
+
+@dataclass(frozen=True)
+class NetworkEquilibrium:
+    """Closed-form max-min equilibrium of a multi-path fluid fabric."""
+
+    #: Stationary per-flow rate on each path.
+    path_rates_bps: Tuple[float, ...]
+    #: Router that binds each path's rate (-1 when only the rate clamp
+    #: binds).
+    path_binding_router: Tuple[int, ...]
+    #: Stationary virtual loss at each router.
+    router_loss: Tuple[float, ...]
+    #: Population mean rate (flow-count weighted over paths).
+    mean_rate_bps: float
+
+
+def network_equilibrium(scenario: FluidScenario) -> NetworkEquilibrium:
+    """Lemma 6 extended to many paths over many routers.
+
+    PELS flows react to the *largest* virtual loss on their path
+    (max-min labels), so each path's stationary rate is set by exactly
+    one binding router.  Which router binds which path is resolved by
+    the classic progressive-filling argument, restated in loss terms:
+
+    * At a router ``j`` whose unresolved crossing flows number ``n``
+      (``A = n alpha/beta``) and whose already-bound crossing flows
+      contribute throughput ``F``, self-consistent MKC equilibrium
+      (``r = alpha/(beta p)`` per flow, arrivals ``C/(1-p)``) makes the
+      local loss the positive root of ``F p^2 + (A + C - F) p - A = 0``
+      (``p = A/(A+C)`` when ``F = 0``).
+    * The router with the globally largest candidate loss really is the
+      max along every unresolved path that crosses it — no other router
+      can later exceed it (binding flows elsewhere only lowers loss) —
+      so those paths bind there at ``r = alpha/(beta p)``, clamped to
+      the operational band.
+    * Repeat with those rates folded into ``F`` until every path is
+      bound.
+
+    Interferers are not modelled (the oracle describes the stationary
+    fabric; time-varying cross traffic shifts the equilibrium
+    piecewise).  Final router losses are recomputed from the resolved
+    loads, so rate-clamped paths stay consistent with what the engine
+    measures.
+    """
+    paths = scenario.path_tuples()
+    counts = scenario.path_flow_counts()
+    caps = scenario.capacities_bps
+    alpha, beta = scenario.alpha_bps, scenario.beta
+    mn, mx = scenario.min_rate_bps, scenario.max_rate_bps
+    n_paths = len(paths)
+    rates = [0.0] * n_paths
+    binding = [-1] * n_paths
+    load = [0.0] * len(caps)
+    unresolved = {pi for pi in range(n_paths) if counts[pi] > 0}
+    crossing: List[List[int]] = [[] for _ in caps]
+    for pi, path in enumerate(paths):
+        for rj in path:
+            crossing[rj].append(pi)
+
+    while unresolved:
+        best_p, best_j = 0.0, -1
+        for rj, cap in enumerate(caps):
+            n = sum(counts[pi] for pi in crossing[rj] if pi in unresolved)
+            if n == 0:
+                continue
+            a = n * alpha / beta
+            f = load[rj]
+            if f == 0.0:
+                p = a / (a + cap)
+            else:
+                b = a + cap - f
+                p = (math.sqrt(b * b + 4.0 * f * a) - b) / (2.0 * f)
+            if p > best_p:
+                best_p, best_j = p, rj
+        if best_j < 0:  # pragma: no cover - alpha > 0 makes p > 0
+            break
+        r = min(mx, max(mn, alpha / (beta * best_p)))
+        for pi in list(unresolved):
+            if best_j in paths[pi]:
+                unresolved.discard(pi)
+                rates[pi] = r
+                binding[pi] = best_j
+                for rj in paths[pi]:
+                    load[rj] += counts[pi] * r
+
+    losses = tuple(max(0.0, (ld - cap) / ld) if ld > 0 else 0.0
+                   for ld, cap in zip(load, caps))
+    total = sum(counts)
+    mean = (sum(c * r for c, r in zip(counts, rates)) / total
+            if total else 0.0)
+    return NetworkEquilibrium(
+        path_rates_bps=tuple(rates), path_binding_router=tuple(binding),
+        router_loss=losses, mean_rate_bps=mean)
+
+
+def check_network_equilibrium(scenario: FluidScenario, result: FluidResult,
+                              tol: float = 0.01) -> OracleVerdict:
+    """A fluid run's tail vs the closed-form network equilibrium.
+
+    Compares the population mean rate (relative) and every router's
+    stationary virtual loss (absolute — idle routers sit at exactly 0).
+    """
+    eq = network_equilibrium(scenario)
+    measured = result.tail_mean_rate()
+    rate_err = (abs(measured - eq.mean_rate_bps) / eq.mean_rate_bps
+                if eq.mean_rate_bps else 0.0)
+    loss_err = max(abs(m - e) for m, e in
+                   zip(result.router_loss[-1], eq.router_loss))
+    ok = rate_err <= tol and loss_err <= tol
+    n_bound = sum(1 for b in eq.path_binding_router if b >= 0)
+    return OracleVerdict(
+        name="network-equilibrium", ok=ok, measured=measured,
+        expected=eq.mean_rate_bps, tolerance=tol,
+        detail=f"rate rel err {rate_err:.4%}, max loss err {loss_err:.4f}, "
+               f"{n_bound}/{len(eq.path_rates_bps)} paths router-bound")
 
 
 # -- convenience runner ------------------------------------------------------

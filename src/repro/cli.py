@@ -120,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--only", default="")
     exp.add_argument("--no-ablations", action="store_true")
     exp.add_argument("--jobs", type=int, default=1, metavar="N")
+    exp.add_argument("--chunk", type=int, default=None, metavar="M")
     exp.add_argument("--json", default="")
     exp.add_argument("--timeout", type=float, default=None, metavar="S")
     exp.add_argument("--retries", type=int, default=0, metavar="N")
@@ -431,6 +432,8 @@ def _dispatch(args) -> int:
             forwarded.append("--no-ablations")
         if args.jobs != 1:
             forwarded.extend(["--jobs", str(args.jobs)])
+        if args.chunk is not None:
+            forwarded.extend(["--chunk", str(args.chunk)])
         if args.json:
             forwarded.extend(["--json", args.json])
         if args.timeout is not None:

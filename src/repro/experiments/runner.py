@@ -35,10 +35,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from pathlib import Path
 
-from . import (ablations, bursts_exp, chaos, closed_loop_be, deadlines,
-               fec_comparison, fig2, fig5, fig7, fig8, fig9, fig10,
-               heterogeneous, live_exp, multihop, rd_smoothing, scaling,
-               table1)
+from . import (ablations, bursts_exp, capacity, chaos, closed_loop_be,
+               deadlines, fec_comparison, fig2, fig5, fig7, fig8, fig9,
+               fig10, heterogeneous, live_exp, multihop, rd_smoothing,
+               scaling, table1)
 from .common import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "run_all", "main"]
@@ -59,6 +59,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "X6": deadlines.run,
     "X7": fec_comparison.run,
     "S1": scaling.run,
+    "S2": capacity.run,
     "R1": chaos.run,
     "L1": live_exp.run,
 }
@@ -156,8 +157,31 @@ def _failure_result(key: str, kind: str, message: str,
     return result
 
 
+def _sweep_kwargs(fn: Callable[..., ExperimentResult], jobs: int,
+                  chunk: Optional[int]) -> Dict[str, int]:
+    """The subset of {jobs, chunk} an experiment's ``run`` accepts.
+
+    Experiments that sweep many scenarios (S1, S2) parallelize
+    internally; the runner forwards its ``--jobs``/``--chunk`` budget
+    to them only when it is not already spending it on a process pool
+    of experiments.
+    """
+    import inspect
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return {}
+    kwargs: Dict[str, int] = {}
+    if jobs != 1 and "jobs" in params:
+        kwargs["jobs"] = jobs
+    if chunk is not None and "chunk" in params:
+        kwargs["chunk"] = chunk
+    return kwargs
+
+
 def _run_one(key: str, fast: bool, retries: int = 0,
-             backoff: float = 0.5) -> ExperimentResult:
+             backoff: float = 0.5, jobs: int = 1,
+             chunk: Optional[int] = None) -> ExperimentResult:
     """Execute one experiment; crash-isolated, with bounded retry.
 
     Module-level so it pickles for the ``--jobs`` process pool.  Any
@@ -172,7 +196,8 @@ def _run_one(key: str, fast: bool, retries: int = 0,
     while True:
         attempt += 1
         try:
-            result = _registry()[key](fast=fast)
+            fn = _registry()[key]
+            result = fn(fast=fast, **_sweep_kwargs(fn, jobs, chunk))
             result.wall_time = time.perf_counter() - t0
             return result
         except KeyboardInterrupt:
@@ -287,16 +312,20 @@ def run_all(fast: bool = False, only: str = "",
             with_ablations: bool = True, jobs: int = 1,
             retries: int = 0, backoff: float = 0.5,
             timeout: Optional[float] = None,
-            out_dir: str = "", resume: bool = False) -> List[ExperimentResult]:
+            out_dir: str = "", resume: bool = False,
+            chunk: Optional[int] = None) -> List[ExperimentResult]:
     """Run the selected experiments and return their results.
 
     With ``jobs > 1`` the experiments run in a process pool; each one
     owns a seeded simulator, so results are bit-identical to a serial
-    run and are returned in the same order.  A ``timeout`` switches
-    every experiment — serial or parallel — to a disposable isolation
-    process that is killed on expiry.  With ``out_dir`` each artifact
-    is checkpointed as it completes; ``resume`` skips artifacts already
-    checkpointed there (failed ones re-run).
+    run and are returned in the same order.  When only a single
+    experiment is selected, ``jobs`` (and the sweep granularity
+    ``chunk``) is forwarded *into* it instead, so sweep experiments
+    like S1/S2 parallelize over their scenario grid.  A ``timeout``
+    switches every experiment — serial or parallel — to a disposable
+    isolation process that is killed on expiry.  With ``out_dir`` each
+    artifact is checkpointed as it completes; ``resume`` skips
+    artifacts already checkpointed there (failed ones re-run).
     """
     keys = _select(only, with_ablations)
     done: Dict[str, ExperimentResult] = {}
@@ -322,7 +351,11 @@ def run_all(fast: bool = False, only: str = "",
                        for key in todo]
             fresh = [future.result() for future in futures]
     else:
-        fresh = [_run_one(key, fast, retries, backoff) for key in todo]
+        # Serial over experiments: the jobs/chunk budget goes to each
+        # experiment's internal scenario sweep instead (no pool above
+        # means no nested-pool hazard).
+        fresh = [_run_one(key, fast, retries, backoff, jobs=jobs,
+                          chunk=chunk) for key in todo]
 
     # Index by the *submitted* key, not result.experiment_id — a
     # misbehaving experiment may return a mislabeled result, and the
@@ -380,6 +413,10 @@ def main(argv=None) -> int:
                         help="skip the ablation studies")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run experiments in N worker processes")
+    parser.add_argument("--chunk", type=int, default=None, metavar="M",
+                        help="scenarios per worker task for sweep "
+                             "experiments (S1/S2) when --jobs feeds a "
+                             "single experiment's internal sweep")
     parser.add_argument("--json", default="",
                         help="also write all results to this JSON file")
     parser.add_argument("--plot", action="store_true",
@@ -412,6 +449,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.chunk is not None and args.chunk < 1:
+        parser.error("--chunk must be at least 1")
     if args.timeout is not None and args.timeout <= 0:
         parser.error("--timeout must be positive")
     if args.retries < 0:
@@ -444,7 +483,7 @@ def main(argv=None) -> int:
                       with_ablations=not args.no_ablations, jobs=jobs,
                       retries=args.retries, backoff=args.retry_backoff,
                       timeout=args.timeout, out_dir=args.out_dir,
-                      resume=args.resume)
+                      resume=args.resume, chunk=args.chunk)
     if profiler is not None:
         profiler.disable()
     if not results:

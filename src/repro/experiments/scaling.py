@@ -18,10 +18,11 @@ hosts and across serial vs ``--jobs`` runs.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from ..fluid import FluidEngine, FluidScenario
+from ..fluid import FluidScenario
 from .common import ExperimentResult, check
+from .sweep import sweep_fluid
 
 __all__ = ["run", "FLOW_COUNTS", "PER_FLOW_CAPACITY_BPS"]
 
@@ -43,36 +44,44 @@ def _scenarios(n: int, duration: float) -> List[Tuple[str, FluidScenario]]:
     return [("single-hop", single), ("chain", chain)]
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, jobs: int = 1,
+        chunk: Optional[int] = None) -> ExperimentResult:
     duration = 20.0 if fast else 60.0
     result = ExperimentResult(
         "S1", "Fluid-engine scaling: Lemma 6 from 10 to 10 000 flows "
               "(extension)")
 
+    grid = [(topo, n, scenario) for n in FLOW_COUNTS
+            for topo, scenario in _scenarios(n, duration)]
+    # The list backend is pinned: it is the stdlib-only default and
+    # keeps the rendered table independent of whether numpy happens to
+    # be installed on the host.  Summaries come back in input order
+    # whether the sweep ran serially or over a process pool.
+    summaries = sweep_fluid([scenario for _topo, _n, scenario in grid],
+                            backend="list", jobs=jobs, chunk=chunk)
+
     rows = []
-    for n in FLOW_COUNTS:
-        for topo, scenario in _scenarios(n, duration):
-            # The list backend is pinned: it is the stdlib-only default
-            # and keeps the rendered table independent of whether numpy
-            # happens to be installed on the host.
-            run_out = FluidEngine(scenario, backend="list").run()
-            expected = scenario.lemma6_rate_bps()
-            tail = run_out.tail_mean_rate()
-            err = abs(tail - expected) / expected
-            conv = run_out.convergence_time(target=expected)
-            rows.append((topo, n, run_out.n_epochs,
-                         "-" if conv is None else round(conv, 2),
-                         round(expected / 1e3, 1), round(tail / 1e3, 1),
-                         round(err * 100, 4)))
-            key = f"{topo.replace('-', '_')}_n{n}"
-            check(result, f"rate_{key}", tail, expected, rel_tol=0.02)
-            result.metrics[f"convergence_s_{key}"] = \
-                -1.0 if conv is None else conv
-            # Wall-clock cost: metrics only, never the rendered table.
-            result.metrics[f"wall_per_sim_s_{key}"] = \
-                run_out.wall_per_sim_second()
-            result.metrics[f"epochs_per_s_{key}"] = \
-                run_out.epochs_per_second()
+    for (topo, n, scenario), summary in zip(grid, summaries):
+        expected = scenario.lemma6_rate_bps()
+        tail = summary.tail_mean_rate()
+        err = abs(tail - expected) / expected
+        conv = summary.convergence_time(target=expected)
+        rows.append((topo, n, summary.n_epochs,
+                     "-" if conv is None else round(conv, 2),
+                     round(expected / 1e3, 1), round(tail / 1e3, 1),
+                     round(err * 100, 4)))
+        key = f"{topo.replace('-', '_')}_n{n}"
+        check(result, f"rate_{key}", tail, expected, rel_tol=0.02)
+        result.metrics[f"convergence_s_{key}"] = \
+            -1.0 if conv is None else conv
+        # Wall-clock cost: metrics only, never the rendered table.
+        result.metrics[f"wall_per_sim_s_{key}"] = \
+            summary.wall_per_sim_second(duration)
+        result.metrics[f"epochs_per_s_{key}"] = \
+            summary.epochs_per_second()
+        if summary.peak_rss_bytes is not None:
+            result.metrics[f"peak_rss_bytes_{key}"] = \
+                float(summary.peak_rss_bytes)
 
     result.add_table(
         ["topology", "flows", "epochs", "conv (s)", "Lemma 6 r* (kb/s)",

@@ -4,23 +4,35 @@ The packet simulator (``repro.sim`` + ``repro.core``) resolves every
 packet, which costs O(packets) and caps practical sweeps at tens of
 flows.  This package integrates the same control plane — MKC (Eq. 8),
 the gamma controller (Eq. 4/5) and the router virtual loss (Eq. 11) —
-as the discrete-time per-epoch recurrences the paper states them in,
-over flat parallel arrays, at O(epochs x flows + epochs x routers).
+as the discrete-time per-epoch recurrences the paper states them in.
+:class:`FluidEngine` batches the integration over *segments*
+(equivalence classes of flows with identical delay geometry, start
+epoch and path), so per-epoch cost scales with the number of distinct
+flow behaviours rather than the flow count; a million-flow fat tree
+with a few hundred delay/start variants costs a few hundred segment
+updates per epoch.  :class:`ReferenceFluidEngine` preserves the
+original per-class integrator as a parity yardstick.
 
 Use :class:`FluidScenario` + :class:`FluidEngine` directly, the
-``pels fluid`` CLI subcommand, or the ``S1`` scaling experiment; the
-:mod:`repro.fluid.validate` builders derive matched fluid twins of the
-packet scenarios for cross-validation.
+``pels fluid`` CLI subcommand, or the ``S1``/``S2`` scaling
+experiments; the :mod:`repro.fluid.validate` builders derive matched
+fluid twins of the packet scenarios for cross-validation, and
+:func:`fat_tree_scenario` / :func:`chain_grid_scenario` generate the
+multi-bottleneck capacity-planning topologies.
 """
 
 from .engine import FluidEngine, FluidResult, resolve_backend
-from .scenario import FluidScenario
+from .reference import ReferenceFluidEngine
+from .scenario import FluidScenario, chain_grid_scenario, fat_tree_scenario
 from .validate import fluid_twin_of_multihop, fluid_twin_of_session
 
 __all__ = [
     "FluidEngine",
     "FluidResult",
     "FluidScenario",
+    "ReferenceFluidEngine",
+    "chain_grid_scenario",
+    "fat_tree_scenario",
     "fluid_twin_of_multihop",
     "fluid_twin_of_session",
     "resolve_backend",

@@ -1,0 +1,426 @@
+"""The seed per-class fluid engine, kept as the parity yardstick.
+
+This is the original (pre-batched) integrator: it iterates per
+:class:`_FlowClass` and per router inside the epoch loop, carrying full
+``H x N`` per-flow rate rings even when every flow in a class follows
+the identical trajectory.  The batched engine in
+:mod:`repro.fluid.engine` replaced it as the production path; this copy
+stays for two reasons:
+
+* **cross-validation** — the property suite asserts the batched engine
+  reproduces this one within 0.1% on every supported scenario (both
+  backends), so the perf rework can never silently change the model;
+* **benchmark baseline** — ``benchmarks/test_bench_fluid.py`` measures
+  the batched engine's speedup against this engine on the same host,
+  which keeps the committed ">= 50x at N = 10 000" claim meaningful
+  across machines.
+
+It supports exactly the seed feature set: single-path chain topologies
+(every flow crosses every router).  Scenarios using ``paths`` /
+``flow_path`` / ``flow_groups`` must use the batched engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from ..obs.profile import merge_profile, profiling_active
+from ..obs.trace import current_tracer
+from .engine import FluidResult, _numpy_or_none, resolve_backend
+from .scenario import FluidScenario
+
+__all__ = ["ReferenceFluidEngine"]
+
+
+class _FlowClass:
+    """Flows sharing (forward delay, backward delay, start epoch).
+
+    Within a class the deterministic recurrences are driven by the same
+    delayed loss sequence, so the gamma trajectory is a single scalar;
+    rates stay per-flow in the flat arrays.
+    """
+
+    __slots__ = ("members", "fwd", "bwd", "delay", "start_epoch", "gamma",
+                 "full")
+
+    def __init__(self, members: List[int], fwd: int, bwd: int,
+                 start_epoch: int, gamma0: float, n_flows: int) -> None:
+        self.members = members
+        self.fwd = fwd
+        self.bwd = bwd
+        self.delay = fwd + bwd
+        self.start_epoch = start_epoch
+        self.gamma = gamma0
+        self.full = len(members) == n_flows
+
+
+class ReferenceFluidEngine:
+    """Per-class deterministic integrator for a :class:`FluidScenario`."""
+
+    def __init__(self, scenario=None, backend=None) -> None:
+        self.scenario = scenario or FluidScenario()
+        self.backend = resolve_backend(backend)
+        s = self.scenario
+        if s.paths is not None or s.flow_path is not None \
+                or s.flow_groups is not None:
+            raise ValueError(
+                "the reference engine only integrates single-path chain "
+                "scenarios; use the batched FluidEngine for paths / "
+                "flow_groups")
+        groups: Dict[Tuple[int, int, int], List[int]] = {}
+        for i in range(s.n_flows):
+            key = (s.forward_epochs(i), s.backward_epochs(i),
+                   s.start_epoch(i))
+            groups.setdefault(key, []).append(i)
+        self.classes = [
+            _FlowClass(members, fwd, bwd, start, s.gamma0, s.n_flows)
+            for (fwd, bwd, start), members in sorted(groups.items())]
+        self.max_delay = max(c.delay for c in self.classes)
+        self.max_fwd = max(c.fwd for c in self.classes)
+        #: Ring length: every delayed lookup must still hold its epoch —
+        #: the reference filter reaches back D_i, the incremental filter
+        #: update W + 1, and the ZOH arrival fwd_i + 1.
+        self.history = max(self.max_delay, s.feedback_window + 1,
+                           self.max_fwd + 1) + 2
+
+    # -- interferer geometry -----------------------------------------------
+
+    def _interferer_table(self) -> List[List[Tuple[int, int, float]]]:
+        """Per-router list of (first_epoch, last_epoch, rate) entries.
+
+        An interferer entering at hop ``h`` crosses every router from
+        ``h`` to the chain tail, so it loads all of them.
+        """
+        s = self.scenario
+        T = s.feedback_interval
+        table: List[List[Tuple[int, int, float]]] = [
+            [] for _ in s.capacities_bps]
+        for router, start, stop, rate in s.interferers:
+            first = int(start / T) + 1
+            last = int(round(stop / T))
+            for j in range(router, len(s.capacities_bps)):
+                table[j].append((first, last, rate))
+        return table
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> FluidResult:
+        t0 = time.perf_counter()
+        if self.backend == "numpy":
+            result = self._run(_numpy_or_none())
+        else:
+            result = self._run(None)
+        result.wall_time = time.perf_counter() - t0
+        return result
+
+    def _run(self, np) -> FluidResult:
+        s = self.scenario
+        T = s.feedback_interval
+        K = s.n_epochs()
+        N = s.n_flows
+        H = self.history
+        W = s.feedback_window
+        alpha, beta = s.alpha_bps, s.beta
+        sigma, p_thr = s.sigma, s.p_thr
+        g_lo, g_hi = s.gamma_low, s.gamma_high
+        mn, mx, r0 = s.min_rate_bps, s.max_rate_bps, s.initial_rate_bps
+        inv2w = 0.5 / W
+        capacities = s.capacities_bps
+        n_routers = len(capacities)
+        interferers = self._interferer_table()
+        stride = s.sample_stride()
+        record_flows = s.should_record_flows()
+
+        # hist holds what each flow actually sends (0 before it starts);
+        # y_hist holds the matched-filter reference y_i(k), whose
+        # controller-side pre-start value is r0.
+        if np is None:
+            hist = [[0.0] * N for _ in range(H)]
+            y_hist = [[r0] * N for _ in range(H)]
+        else:
+            hist = np.zeros((H, N), dtype=np.float64)
+            y_hist = np.full((H, N), r0, dtype=np.float64)
+        p_hist = [0.0] * H
+        windows: List[List[float]] = [[] for _ in range(n_routers)]
+        classes = self.classes
+        for c in classes:
+            c.gamma = s.gamma0
+        if np is not None:
+            members_np = [np.asarray(c.members, dtype=np.intp)
+                          for c in classes]
+
+        result = FluidResult(scenario=s, backend=self.backend, n_epochs=K)
+        if record_flows:
+            result.flow_rates = [[] for _ in range(N)]
+
+        start_sorted = sorted((c.start_epoch, len(c.members))
+                              for c in classes)
+
+        # Opt-in observability: per-section cumulative times (merged
+        # into the process-global profile accumulator) and per-sample
+        # trace events.  Both default to off; ``timed``/``tracer`` are
+        # hoisted so the off path pays one branch per section per epoch.
+        tracer = current_tracer()
+        timed = profiling_active()
+        perf = time.perf_counter
+        prof = {"ReferenceFluidEngine.controller": [0, 0.0],
+                "ReferenceFluidEngine.filter": [0, 0.0],
+                "ReferenceFluidEngine.router": [0, 0.0],
+                "ReferenceFluidEngine.sampling": [0, 0.0]} if timed else None
+        t_sec = 0.0
+
+        for k in range(1, K + 1):
+            idx = k % H
+            row = hist[idx]
+            y_row = y_hist[idx]
+            if timed:
+                t_sec = perf()
+
+            # 1. Controller step (Eq. 8 / Eq. 4): act on the freshest
+            #    deliverable label p(k - bwd) with the matched-filter
+            #    self-reference y(k - D).
+            for ci, c in enumerate(classes):
+                jl = k - c.bwd
+                if jl >= c.start_epoch:
+                    p_old = p_hist[jl % H]
+                    f = 1.0 - beta * p_old
+                    m = k - c.delay
+                    if m < 1:
+                        v = r0 * f + alpha
+                        v = mx if v > mx else mn if v < mn else v
+                        if np is None:
+                            if c.full:
+                                hist[idx] = row = [v] * N
+                            else:
+                                for i in c.members:
+                                    row[i] = v
+                        else:
+                            if c.full:
+                                row[:] = v
+                            else:
+                                row[members_np[ci]] = v
+                    else:
+                        src = y_hist[m % H]
+                        if np is None:
+                            if c.full:
+                                hist[idx] = row = [
+                                    mx if (v := y * f + alpha) > mx
+                                    else mn if v < mn else v for y in src]
+                            else:
+                                for i in c.members:
+                                    v = src[i] * f + alpha
+                                    row[i] = mx if v > mx \
+                                        else mn if v < mn else v
+                        else:
+                            if c.full:
+                                np.clip(src * f + alpha, mn, mx, out=row)
+                            else:
+                                sel = members_np[ci]
+                                row[sel] = np.clip(src[sel] * f + alpha,
+                                                   mn, mx)
+                    g = c.gamma + sigma * (p_old / p_thr - c.gamma)
+                    c.gamma = g_hi if g > g_hi else g_lo if g < g_lo else g
+                elif k >= c.start_epoch:
+                    # Sending, but no feedback label has aged in yet.
+                    if np is None:
+                        if c.full:
+                            hist[idx] = row = [r0] * N
+                        else:
+                            for i in c.members:
+                                row[i] = r0
+                    else:
+                        if c.full:
+                            row[:] = r0
+                        else:
+                            row[members_np[ci]] = r0
+                else:
+                    if np is None:
+                        if c.full:
+                            hist[idx] = row = [0.0] * N
+                        else:
+                            for i in c.members:
+                                row[i] = 0.0
+                    else:
+                        if c.full:
+                            row[:] = 0.0
+                        else:
+                            row[members_np[ci]] = 0.0
+
+            if timed:
+                now = perf()
+                stat = prof["ReferenceFluidEngine.controller"]
+                stat[0] += 1
+                stat[1] += now - t_sec
+                t_sec = now
+
+            # 2. Matched-filter reference for epoch k:
+            #    y(k) = (1/W) sum_{u<W} 1/2 (ctrl(k-u) + ctrl(k-u-1)),
+            #    where ctrl(m) reads r0 before the flow starts.  Once
+            #    every tap is a real rate the window slides in O(1).
+            for ci, c in enumerate(classes):
+                start = c.start_epoch
+                if k < start:
+                    if np is None:
+                        if c.full:
+                            y_hist[idx] = y_row = [r0] * N
+                        else:
+                            for i in c.members:
+                                y_row[i] = r0
+                    else:
+                        if c.full:
+                            y_row[:] = r0
+                        else:
+                            y_row[members_np[ci]] = r0
+                elif k <= start + W:
+                    if np is None:
+                        for i in c.members:
+                            acc = 0.0
+                            for u in range(W):
+                                m1 = k - u
+                                m0 = m1 - 1
+                                acc += (hist[m1 % H][i] if m1 >= start
+                                        else r0)
+                                acc += (hist[m0 % H][i] if m0 >= start
+                                        else r0)
+                            y_row[i] = acc * inv2w
+                    else:
+                        sel = slice(None) if c.full else members_np[ci]
+                        acc = np.zeros(len(c.members), dtype=np.float64)
+                        for u in range(W):
+                            m1 = k - u
+                            m0 = m1 - 1
+                            acc += hist[m1 % H][sel] if m1 >= start else r0
+                            acc += hist[m0 % H][sel] if m0 >= start else r0
+                        y_row[sel] = acc * inv2w
+                else:
+                    rk1 = hist[(k - 1) % H]
+                    rkw = hist[(k - W) % H]
+                    rkw1 = hist[(k - W - 1) % H]
+                    y_prev = y_hist[(k - 1) % H]
+                    if np is None:
+                        if c.full:
+                            y_hist[idx] = y_row = [
+                                y + (a + b - d - e) * inv2w
+                                for y, a, b, d, e in zip(y_prev, row, rk1,
+                                                         rkw, rkw1)]
+                        else:
+                            for i in c.members:
+                                y_row[i] = y_prev[i] + (
+                                    row[i] + rk1[i] - rkw[i] - rkw1[i]
+                                ) * inv2w
+                    else:
+                        sel = slice(None) if c.full else members_np[ci]
+                        y_row[sel] = y_prev[sel] + (
+                            row[sel] + rk1[sel] - rkw[sel] - rkw1[sel]
+                        ) * inv2w
+
+            if timed:
+                now = perf()
+                stat = prof["ReferenceFluidEngine.filter"]
+                stat[0] += 1
+                stat[1] += now - t_sec
+                t_sec = now
+
+            # 3. Router epoch close (Eq. 11): zero-order-hold arrivals
+            #    delayed by each class's forward path, windowed, then
+            #    p = (R - C)/R.
+            arrival = 0.0
+            for ci, c in enumerate(classes):
+                m = k - c.fwd
+                if m < c.start_epoch:
+                    continue
+                src = hist[m % H]
+                if np is None:
+                    if c.full:
+                        s_new = sum(src)
+                    else:
+                        s_new = sum(src[i] for i in c.members)
+                else:
+                    if c.full:
+                        s_new = float(src.sum())
+                    else:
+                        s_new = float(src[members_np[ci]].sum())
+                if m - 1 >= c.start_epoch:
+                    prev = hist[(m - 1) % H]
+                    if np is None:
+                        if c.full:
+                            s_old = sum(prev)
+                        else:
+                            s_old = sum(prev[i] for i in c.members)
+                    else:
+                        if c.full:
+                            s_old = float(prev.sum())
+                        else:
+                            s_old = float(prev[members_np[ci]].sum())
+                else:
+                    s_old = 0.0
+                arrival += 0.5 * (s_new + s_old)
+
+            p_max = 0.0
+            bneck = -1
+            losses = [0.0] * n_routers
+            rates = [0.0] * n_routers
+            for rj in range(n_routers):
+                load = arrival
+                for first, last, rate in interferers[rj]:
+                    if first <= k <= last:
+                        load += rate
+                window = windows[rj]
+                window.append(load)
+                if len(window) > W:
+                    window.pop(0)
+                r_bar = sum(window) / len(window)
+                p = max(0.0, (r_bar - capacities[rj]) / r_bar) \
+                    if r_bar > 0 else 0.0
+                losses[rj] = p
+                rates[rj] = r_bar
+                if p > p_max:
+                    p_max = p
+                    bneck = rj
+            p_hist[idx] = p_max
+
+            if timed:
+                now = perf()
+                stat = prof["ReferenceFluidEngine.router"]
+                stat[0] += 1
+                stat[1] += now - t_sec
+                t_sec = now
+
+            # 4. Sampling.
+            if k % stride == 0 or k == K:
+                started = sum(size for start, size in start_sorted
+                              if start <= k)
+                total = sum(row) if np is None else float(row.sum())
+                result.times.append(k * T)
+                result.mean_rate_bps.append(total / started if started
+                                            else 0.0)
+                result.router_loss.append(losses)
+                result.router_rate_bps.append(rates)
+                result.gamma_mean.append(
+                    sum(c.gamma * len(c.members) for c in classes) / N)
+                result.bottleneck.append(bneck)
+                if record_flows:
+                    for i in range(N):
+                        result.flow_rates[i].append(float(row[i]))
+                if tracer is not None:
+                    tracer.fluid_sample(k * T, k, result.mean_rate_bps[-1],
+                                        p_max)
+
+            if timed:
+                now = perf()
+                stat = prof["ReferenceFluidEngine.sampling"]
+                stat[0] += 1
+                stat[1] += now - t_sec
+
+        if prof is not None:
+            merge_profile(prof)
+
+        final = hist[K % H]
+        result.final_rates = [float(v) for v in final]
+        gammas = [0.0] * N
+        for c in classes:
+            for i in c.members:
+                gammas[i] = c.gamma
+        result.final_gammas = gammas
+        return result

@@ -14,6 +14,11 @@ to PELS, queues never physically drop (Eq. 11's loss is virtual), and
 sub-epoch timing (frame clocks, packetization) vanishes.  Equilibria
 match (Lemma 6 has no packet-level term); transients agree to within
 the epoch quantization.
+
+The twins run unchanged on the batched segment engine: per-flow
+``extra_delay`` / ``start_times`` become segments via
+``FluidScenario.segment_specs()``, so validation exercises the same
+collapse path the capacity-planning topologies use.
 """
 
 from __future__ import annotations

@@ -75,6 +75,23 @@ class TestJobsByteIdentical:
             main(["--jobs", "0", "--only", "F2"])
         assert exc.value.code == 2
 
+    def test_chunk_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--chunk", "0", "--only", "S2"])
+        assert exc.value.code == 2
+
+    def test_s2_chunked_sweep_stdout_matches_serial(self, capsys):
+        """--jobs/--chunk on a single sweep experiment parallelizes its
+        internal scenario grid; the rendered report must stay
+        byte-identical to the serial run."""
+        argv = ["--fast", "--only", "S2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2", "--chunk", "1"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "== S2:" in serial
+
 
 class TestProfileForcesSerial:
     def test_profile_overrides_jobs(self, capsys, tmp_path):
