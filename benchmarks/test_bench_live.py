@@ -1,0 +1,179 @@
+"""Live gateway hot-path throughput: the per-shard pkts/s claim.
+
+Three bars ride here:
+
+* the router's synchronous datagram path (ingest -> classify -> WRR
+  drain -> forward) must sustain >= 10,000 pkts/s single-threaded —
+  this is the per-shard capacity the L2 capacity planning assumes;
+* a real shard process (UDP in, UDP out, asyncio loop, feedback
+  epochs) must carry >= 10,000 pkts/s over loopback;
+* gateway admission must run >= 10,000 registrations/s, so admitting
+  the L2 populations is control-plane noise, not load.
+
+All three medians are committed to ``baselines/live.json`` and held by
+``compare_bench.py`` in CI.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.core.clock import ManualClock
+from repro.core.pels_queue import PelsQueueConfig
+from repro.live.gateway import LiveGateway, TenantPolicy
+from repro.live.router import LiveRouter
+from repro.live.shard import RouterShard, ShardConfig
+from repro.live.wire import LivePacket, encode_packet
+from repro.sim.packet import Color
+
+#: The per-shard floor the L2 experiment's capacity planning assumes.
+PKTS_PER_SEC_FLOOR = 10_000.0
+
+
+class _CountingTransport:
+    __slots__ = ("sent",)
+
+    def __init__(self) -> None:
+        self.sent = 0
+
+    def sendto(self, data, addr) -> None:
+        self.sent += 1
+
+
+def _datagram_cycle(n: int = 64, size: int = 250) -> list:
+    """A working set of encoded datagrams, colors in FGS proportions."""
+    colors = [Color.GREEN] * 8 + [Color.YELLOW] * 40 + [Color.RED] * 16
+    return [encode_packet(LivePacket(flow_id=i % 16, seq=i,
+                                     color=colors[i % len(colors)],
+                                     sent_at=0.0, size=size))
+            for i in range(n)]
+
+
+def test_bench_router_hot_path(once):
+    """Synchronous ingest+drain loop, no sockets: the shard's core."""
+    batch = 64
+    n_packets = batch * 800
+    cycle = _datagram_cycle(batch)
+    clock = ManualClock()
+    router = LiveRouter(clock, bottleneck_bps=1e9,
+                        config=PelsQueueConfig(pels_weight=1.0,
+                                               internet_weight=1e-6,
+                                               green_buffer=256,
+                                               yellow_buffer=512,
+                                               red_buffer=256,
+                                               internet_buffer=16),
+                        recv_batch=batch)
+    router.transport = _CountingTransport()
+    router.dst_addr = ("127.0.0.1", 9)
+
+    def run() -> float:
+        ingest = router._ingest
+        drain = router._drain
+        t0 = time.perf_counter()
+        for _ in range(n_packets // batch):
+            for data in cycle:
+                ingest(data)
+            clock.advance(0.002)
+            drain(1e9)  # credit covers the whole batch
+        return time.perf_counter() - t0
+
+    elapsed = once(run)
+    assert router.transport.sent == n_packets
+    assert router.drops == [0, 0, 0, 0]
+    rate = n_packets / elapsed
+    assert rate >= PKTS_PER_SEC_FLOOR, (
+        f"router hot path at {rate:.0f} pkts/s "
+        f"(floor {PKTS_PER_SEC_FLOOR:.0f})")
+
+
+def test_bench_shard_loopback(once):
+    """One shard process end to end: UDP in, forwarded UDP out.
+
+    The sender paces lightly (a yield per batch) so the measurement is
+    the shard's service rate, not the loopback buffer depth.
+    """
+    n_packets = 20_000
+    batch = 200
+    cycle = _datagram_cycle(batch)
+    shard = RouterShard(ShardConfig(
+        shard_id=1, bottleneck_bps=400_000_000.0,
+        queue=PelsQueueConfig(pels_weight=1.0, internet_weight=1e-6,
+                              green_buffer=2048, yellow_buffer=4096,
+                              red_buffer=2048, internet_buffer=16)))
+    receiver = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    receiver.bind(("127.0.0.1", 0))
+    receiver.setblocking(False)
+    sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+
+    def run() -> float:
+        shard.start()
+        shard.set_default_route(receiver.getsockname())
+        addr = shard.addr
+        sendto = sender.sendto
+        t0 = time.perf_counter()
+        for _ in range(n_packets // batch):
+            for data in cycle:
+                sendto(data, addr)
+            time.sleep(0.002)  # ~100k pkts/s offered, well above the bar
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            stats = shard.stats()
+            if stats.total_forwarded + sum(stats.drops) >= n_packets:
+                break
+            time.sleep(0.05)
+        return time.perf_counter() - t0
+
+    try:
+        elapsed = once(run)
+        final = shard.stop()
+    finally:
+        shard.stop()
+        sender.close()
+        receiver.close()
+    assert final is not None
+    rate = final.total_forwarded / elapsed
+    assert rate >= PKTS_PER_SEC_FLOOR, (
+        f"shard forwarded {final.total_forwarded}/{n_packets} in "
+        f"{elapsed:.2f}s = {rate:.0f} pkts/s "
+        f"(floor {PKTS_PER_SEC_FLOOR:.0f})")
+
+
+class _FakeShard:
+    __slots__ = ("shard_id", "capacity_bps", "addr")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.capacity_bps = 1e12
+        self.addr = ("127.0.0.1", 40_000 + shard_id)
+
+    def install_route(self, flow_id, addr) -> None:
+        pass
+
+    def remove_route(self, flow_id) -> None:
+        pass
+
+
+def test_bench_gateway_admission(once):
+    """Pure admission decisions (no pipe sends): registrations/s."""
+    n_flows = 20_000
+    gateway = LiveGateway(
+        ManualClock(), [_FakeShard(i + 1) for i in range(4)],
+        default_policy=TenantPolicy(max_flows=n_flows,
+                                    registration_rate=1e9,
+                                    registration_burst=n_flows))
+    client = ("127.0.0.1", 5555)
+
+    def run() -> float:
+        register = gateway.register
+        t0 = time.perf_counter()
+        for key in range(n_flows):
+            register(f"tenant-{key % 8}", key, client)
+        return time.perf_counter() - t0
+
+    elapsed = once(run)
+    assert gateway.admitted == n_flows
+    rate = n_flows / elapsed
+    assert rate >= PKTS_PER_SEC_FLOOR, (
+        f"gateway admission at {rate:.0f} flows/s "
+        f"(floor {PKTS_PER_SEC_FLOOR:.0f})")

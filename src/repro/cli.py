@@ -87,7 +87,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="feedback computation period T (s)")
     live.add_argument("--cross-traffic", default="cbr",
                       choices=["cbr", "none"])
+    live.add_argument("--seed", type=int, default=None,
+                      help="seed the server-side RNG (cross-traffic wake "
+                           "jitter) so the emission schedule reproduces")
     live.add_argument("--json", default="", help="write summary JSON here")
+
+    gwy = sub.add_parser(
+        "gateway",
+        help="load-test the sharded live gateway (admission control + "
+             "router shard processes)",
+        description="Spawn a pool of router shard processes, register "
+                    "a population of flows through the admission "
+                    "gateway (per-tenant token buckets, concurrency "
+                    "caps, per-shard capacity budgets, stable-hash "
+                    "placement), stream them all from one tenant-"
+                    "grouped sender, and report goodput vs the Lemma 6 "
+                    "oracle, per-color delay percentiles, admission "
+                    "throughput, and CPU per flow.")
+    gwy.add_argument("--flows", type=int, default=100,
+                     help="flows to register through the gateway")
+    gwy.add_argument("--shards", type=int, default=2,
+                     help="router shard processes")
+    gwy.add_argument("--duration", type=float, default=8.0,
+                     help="wall-clock streaming seconds")
+    gwy.add_argument("--tenants", type=int, default=4,
+                     help="tenants the flows are spread across")
+    gwy.add_argument("--flow-share", type=float, default=12_000.0,
+                     help="per-flow capacity share sizing each shard's "
+                          "bottleneck (b/s)")
+    gwy.add_argument("--alpha", type=float, default=1_000.0,
+                     help="MKC additive gain (b/s)")
+    gwy.add_argument("--beta", type=float, default=0.5,
+                     help="MKC multiplicative gain")
+    gwy.add_argument("--churn", type=int, default=0,
+                     help="flows torn down at half-run (teardown path)")
+    gwy.add_argument("--seed", type=int, default=None,
+                     help="seed for the run's RNG-driven schedules")
+    gwy.add_argument("--json", default="", help="write summary JSON here")
 
     fld = sub.add_parser("fluid",
                          help="epoch-batched fluid run (paper recurrences, "
@@ -202,7 +238,7 @@ def _cmd_live(args) -> int:
         beta=args.beta, p_thr=args.p_thr, sigma=args.sigma,
         bottleneck_bps=args.bottleneck,
         feedback_interval=args.interval,
-        cross_traffic=args.cross_traffic)
+        cross_traffic=args.cross_traffic, seed=args.seed)
     result = run_live_session(config)
     # The live ramp from 128 kb/s eats ~2 s of wall clock; measure the
     # steady state over the final 40% (see experiments/live_exp.py).
@@ -222,6 +258,70 @@ def _cmd_live(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    from .live.loadgen import LoadConfig, run_load
+
+    config = LoadConfig(flows=args.flows, shards=args.shards,
+                        duration=args.duration, tenants=args.tenants,
+                        flow_share_bps=args.flow_share,
+                        alpha_bps=args.alpha, beta=args.beta,
+                        churn_flows=args.churn, seed=args.seed)
+    result = run_load(config)
+    print(f"Gateway load: {result.admitted}/{config.flows} flows admitted "
+          f"across {config.shards} shard(s), "
+          f"{result.elapsed:.1f}s wall clock")
+    print(f"  admission           : {result.flows_per_sec:,.0f} flows/s "
+          f"({result.registration_seconds*1e3:.1f} ms for the population)")
+    if result.rejected:
+        print(f"  rejected            : {result.rejected}")
+    if result.churned:
+        print(f"  churned mid-run     : {result.churned} flow(s)")
+    print(f"  aggregate goodput   : "
+          f"{result.aggregate_goodput_bps/1e3:,.1f} kb/s "
+          f"({result.goodput_vs_oracle*100:.1f}% of the Lemma 6 oracle "
+          f"{result.oracle_goodput_bps/1e3:,.1f} kb/s)")
+    print(f"  green drops         : {result.green_drops}")
+    for color in ("green", "yellow", "red"):
+        d = result.delays[color]
+        print(f"  {color + ' delay':<20}: p50 {d['p50_ms']:.2f} ms, "
+              f"p99 {d['p99_ms']:.2f} ms ({d['count']:.0f} samples)")
+    print(f"  CPU                 : {result.cpu_seconds:.2f} s total, "
+          f"{result.cpu_seconds_per_flow*1e3:.1f} ms/flow")
+    for shard in result.per_shard:
+        print(f"  shard {shard.shard_id}: {shard.n_flows} flows, "
+              f"{shard.goodput_bps/1e3:,.1f} kb/s "
+              f"({shard.goodput_vs_oracle*100:.1f}% of oracle), "
+              f"fairness {shard.fairness:.2f}, "
+              f"drops {shard.drops}")
+    if args.json:
+        payload = {
+            "flows": config.flows,
+            "shards": config.shards,
+            "admitted": result.admitted,
+            "rejected": result.rejected,
+            "churned": result.churned,
+            "flows_per_sec": result.flows_per_sec,
+            "aggregate_goodput_bps": result.aggregate_goodput_bps,
+            "oracle_goodput_bps": result.oracle_goodput_bps,
+            "goodput_vs_oracle": result.goodput_vs_oracle,
+            "green_drops": result.green_drops,
+            "delays": result.delays,
+            "cpu_seconds": result.cpu_seconds,
+            "per_shard": [{
+                "shard_id": s.shard_id, "n_flows": s.n_flows,
+                "capacity_bps": s.capacity_bps,
+                "goodput_bps": s.goodput_bps,
+                "goodput_vs_oracle": s.goodput_vs_oracle,
+                "fairness": s.fairness, "drops": s.drops,
+                "cpu_seconds": s.cpu_seconds,
+            } for s in result.per_shard],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"  summary written to {args.json}")
     return 0
 
 
@@ -413,6 +513,8 @@ def _dispatch(args) -> int:
         return _cmd_simulate(args)
     if args.command == "live":
         return _cmd_live(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "fluid":
         return _cmd_fluid(args)
     if args.command == "analyze":

@@ -37,8 +37,8 @@ from pathlib import Path
 
 from . import (ablations, bursts_exp, capacity, chaos, closed_loop_be,
                deadlines, fec_comparison, fig2, fig5, fig7, fig8, fig9,
-               fig10, heterogeneous, live_exp, multihop, rd_smoothing,
-               scaling, table1)
+               fig10, heterogeneous, live_exp, live_load, multihop,
+               rd_smoothing, scaling, table1)
 from .common import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "run_all", "main"]
@@ -62,6 +62,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "S2": capacity.run,
     "R1": chaos.run,
     "L1": live_exp.run,
+    "L2": live_load.run,
 }
 
 _REGISTRY: Optional[Dict[str, Callable[..., ExperimentResult]]] = None
@@ -179,6 +180,20 @@ def _sweep_kwargs(fn: Callable[..., ExperimentResult], jobs: int,
     return kwargs
 
 
+def _sweep_budget(jobs: int, n_experiments: int) -> int:
+    """Worker budget forwarded into each experiment's internal sweep.
+
+    When the runner's own pool is wider than the experiment list, the
+    spare width goes to the sweeps; at minimum every sweep experiment
+    gets 2 workers so ``--jobs`` always reaches S1/S2 (the transient
+    oversubscription while both pool levels are busy is bounded by
+    ``jobs x budget`` and short-lived — experiments finish staggered).
+    """
+    if jobs <= 1:
+        return 1
+    return max(2, jobs // max(1, min(jobs, n_experiments)))
+
+
 def _run_one(key: str, fast: bool, retries: int = 0,
              backoff: float = 0.5, jobs: int = 1,
              chunk: Optional[int] = None) -> ExperimentResult:
@@ -216,10 +231,11 @@ def _run_one(key: str, fast: bool, retries: int = 0,
                 + " / ".join(tail), attempt, time.perf_counter() - t0)
 
 
-def _child_run(conn, key: str, fast: bool) -> None:
+def _child_run(conn, key: str, fast: bool, jobs: int = 1,
+               chunk: Optional[int] = None) -> None:
     """Entry point of the per-experiment isolation process."""
     try:
-        conn.send(_run_one(key, fast))
+        conn.send(_run_one(key, fast, jobs=jobs, chunk=chunk))
     except BaseException as exc:  # pragma: no cover - belt and braces
         try:
             conn.send(_failure_result(key, "worker-error", repr(exc), 1, 0.0))
@@ -230,7 +246,8 @@ def _child_run(conn, key: str, fast: bool) -> None:
 
 
 def _run_isolated(key: str, fast: bool, timeout: Optional[float],
-                  retries: int = 0, backoff: float = 0.5) -> ExperimentResult:
+                  retries: int = 0, backoff: float = 0.5, jobs: int = 1,
+                  chunk: Optional[int] = None) -> ExperimentResult:
     """Run one experiment in a disposable child process.
 
     The child is terminated when ``timeout`` expires, so a hung
@@ -238,6 +255,8 @@ def _run_isolated(key: str, fast: bool, timeout: Optional[float],
     reporting (hard crash, OOM kill) yields a structured failure entry
     instead of breaking the pool.  Timeouts and crashes count as
     transient and honour the same bounded retry as in-process errors.
+    The ``jobs``/``chunk`` sweep budget reaches the child's experiment
+    exactly as it would in-process (``_sweep_kwargs`` decides).
     """
     import multiprocessing
 
@@ -247,8 +266,14 @@ def _run_isolated(key: str, fast: bool, timeout: Optional[float],
     while True:
         attempt += 1
         recv, send = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_child_run, args=(send, key, fast),
-                           daemon=True)
+        # Non-daemonic: experiments may spawn their own children (L2's
+        # router shards, S1/S2's internal sweep pools), which daemonic
+        # processes are forbidden to do.  Orphan safety comes from the
+        # children themselves: they watch their control pipes and exit
+        # on EOF when this process is terminated.
+        proc = ctx.Process(target=_child_run,
+                           args=(send, key, fast, jobs, chunk),
+                           daemon=False)
         proc.start()
         send.close()
         failure: Optional[Tuple[str, str]] = None
@@ -340,14 +365,23 @@ def run_all(fast: bool = False, only: str = "",
         # Thread pool driving per-experiment child processes: threads
         # only babysit pipes, the work happens in the children.
         from concurrent.futures import ThreadPoolExecutor
+        # Sweep experiments keep their jobs/chunk budget even when a
+        # pool runs above them: the grid of an S1/S2 cell is far finer
+        # than the experiment list, so starving it of workers costs
+        # more than the transient oversubscription while both pools
+        # are busy (experiments finish staggered).
+        inner = _sweep_budget(jobs, len(todo))
         with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
             futures = [pool.submit(_run_isolated, key, fast, timeout,
-                                   retries, backoff) for key in todo]
+                                   retries, backoff, inner, chunk)
+                       for key in todo]
             fresh = [future.result() for future in futures]
     elif jobs > 1 and len(todo) > 1:
         from concurrent.futures import ProcessPoolExecutor
+        inner = _sweep_budget(jobs, len(todo))
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_one, key, fast, retries, backoff)
+            futures = [pool.submit(_run_one, key, fast, retries, backoff,
+                                   inner, chunk)
                        for key in todo]
             fresh = [future.result() for future in futures]
     else:

@@ -35,27 +35,54 @@ Topology (one process, three UDP endpoints on 127.0.0.1)::
 
 The reverse (ACK) path deliberately bypasses the router, mirroring the
 simulator's uncongested-reverse-path model (DESIGN.md §5).
+
+Above the single-session stack sits the *gateway tier*, which scales
+the same machinery to hundreds–thousands of concurrent flows:
+
+* :mod:`~repro.live.gateway` — per-tenant admission control (token-
+  bucket registration rate, concurrency caps, per-shard capacity
+  budgets) and stable hashing of admitted flows onto the shard pool.
+* :mod:`~repro.live.shard` — router shard processes: one
+  :class:`LiveRouter` + bottleneck per ``multiprocessing`` child,
+  control over a pipe, data over the shard's own UDP socket.
+* :mod:`~repro.live.loadgen` — the load generator behind the L2
+  experiment: registers a flow population, streams it from one
+  tenant-grouped server, and measures goodput / delay percentiles /
+  CPU per flow against the Lemma 6 oracle.
 """
 
 from .client import LiveClient
+from .gateway import AdmissionDecision, LiveGateway, TenantPolicy, TokenBucket
+from .loadgen import LoadConfig, LoadResult, run_load
 from .router import LiveRouter
 from .server import LiveServer
 from .session import (LiveConfig, LiveSessionResult, build_live_report,
                       run_live_session)
+from .shard import RouterShard, ShardConfig, ShardStats
 from .wire import (HEADER_SIZE, LivePacket, WireFormatError, decode_packet,
                    encode_packet)
 
 __all__ = [
+    "AdmissionDecision",
     "HEADER_SIZE",
     "LiveClient",
     "LiveConfig",
+    "LiveGateway",
     "LivePacket",
     "LiveRouter",
     "LiveServer",
     "LiveSessionResult",
+    "LoadConfig",
+    "LoadResult",
+    "RouterShard",
+    "ShardConfig",
+    "ShardStats",
+    "TenantPolicy",
+    "TokenBucket",
     "WireFormatError",
     "build_live_report",
     "decode_packet",
     "encode_packet",
     "run_live_session",
+    "run_load",
 ]

@@ -1,0 +1,210 @@
+"""Session gateway: admission control in front of the shard pool.
+
+Clients register a flow (tenant + flow key + receiver address) and get
+back either the UDP address of the router shard that will carry the
+flow, or a structured rejection.  Three gates run in order, cheapest
+first:
+
+1. **registration rate** — a per-tenant token bucket caps how fast a
+   tenant may register (bursts up to ``registration_burst``, sustained
+   at ``registration_rate``/s), so one misbehaving tenant cannot stall
+   everyone else's control plane;
+2. **tenant concurrency** — a hard cap on a tenant's live flows;
+3. **shard capacity** — every admitted flow reserves
+   ``flow_reserve_bps`` on its shard; a flow whose shard budget is
+   exhausted is rejected (``shard_full``) rather than spilled, keeping
+   the per-shard population — and hence the Lemma 6 operating point
+   ``r* = C_s/N_s + α/β`` — under explicit control.
+
+Shard choice is a stable hash: ``crc32(tenant:flow_key)`` mod the pool
+size, so a flow re-registering lands on the same shard (its feedback
+epoch history stays valid) without the gateway storing any placement
+table.  The data plane bypasses the gateway entirely: admission
+installs ``flow_id → receiver`` into the shard over its control pipe,
+and the sender transmits straight to the shard's socket.
+
+The gateway itself is synchronous pure logic plus one pipe send per
+admission — hundreds of thousands of decisions per second; the L2
+experiment reports the measured flows/sec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+from zlib import crc32
+
+from ..core.clock import Clock
+
+__all__ = ["TokenBucket", "TenantPolicy", "AdmissionDecision",
+           "LiveGateway", "shard_index"]
+
+#: Rejection reasons, in gate order.
+REASON_RATE_LIMITED = "rate_limited"
+REASON_TENANT_FULL = "tenant_full"
+REASON_SHARD_FULL = "shard_full"
+
+
+class TokenBucket:
+    """A lazily-refilled token bucket against an injected clock."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token bucket rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last = now
+
+    def try_take(self, now: float, tokens: float = 1.0) -> bool:
+        filled = self._tokens + (now - self._last) * self.rate
+        self._tokens = self.burst if filled > self.burst else filled
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+@dataclass
+class TenantPolicy:
+    """Admission limits of one tenant."""
+
+    max_flows: int = 1000
+    registration_rate: float = 500.0
+    registration_burst: float = 50.0
+
+
+@dataclass
+class AdmissionDecision:
+    """The gateway's answer to one registration attempt."""
+
+    admitted: bool
+    reason: str  # "ok" or a rejection reason
+    tenant: str
+    flow_key: int
+    flow_id: Optional[int] = None
+    shard_id: Optional[int] = None
+    #: Where the admitted flow must send its data (the shard's socket).
+    shard_addr: Optional[Tuple[str, int]] = None
+
+
+@dataclass
+class _FlowRecord:
+    tenant: str
+    flow_key: int
+    shard_index: int
+    client_addr: Tuple[str, int]
+
+
+def shard_index(tenant: str, flow_key: int, n_shards: int) -> int:
+    """Stable placement: crc32 of the tenant-qualified flow key."""
+    return crc32(f"{tenant}:{flow_key}".encode()) % n_shards
+
+
+class LiveGateway:
+    """Admission control + routing for a pool of router shards.
+
+    ``shards`` is any sequence of shard handles exposing ``shard_id``,
+    ``addr``, ``capacity_bps``, ``install_route`` and ``remove_route``
+    (:class:`~repro.live.shard.RouterShard` in production, fakes in
+    tier-1 tests).  ``flow_reserve_bps`` is the capacity one flow
+    reserves on its shard — the planning-side counterpart of the Lemma
+    6 share the controllers converge to.
+    """
+
+    def __init__(self, clock: Clock, shards: Sequence,
+                 flow_reserve_bps: float = 12_000.0,
+                 default_policy: Optional[TenantPolicy] = None,
+                 policies: Optional[Dict[str, TenantPolicy]] = None) -> None:
+        if not shards:
+            raise ValueError("gateway needs at least one shard")
+        if flow_reserve_bps <= 0:
+            raise ValueError("per-flow reservation must be positive")
+        self.clock = clock
+        self.shards = list(shards)
+        self.flow_reserve_bps = flow_reserve_bps
+        self.default_policy = default_policy or TenantPolicy()
+        self.policies = dict(policies or {})
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._tenant_flows: Dict[str, int] = {}
+        self._reserved_bps = [0.0] * len(self.shards)
+        self.flows: Dict[int, _FlowRecord] = {}
+        self._next_flow_id = 0
+        self.admitted = 0
+        self.rejected: Dict[str, int] = {REASON_RATE_LIMITED: 0,
+                                         REASON_TENANT_FULL: 0,
+                                         REASON_SHARD_FULL: 0}
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    def register(self, tenant: str, flow_key: int,
+                 client_addr: Tuple[str, int]) -> AdmissionDecision:
+        """Run the three admission gates; install the route on success.
+
+        ``flow_key`` is the client's own stable identifier for the flow
+        (it drives shard placement); the returned ``flow_id`` is the
+        gateway-global id the sender must stamp into the wire header.
+        """
+        now = self.clock.now
+        policy = self.policy_for(tenant)
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(policy.registration_rate,
+                                 policy.registration_burst, now)
+            self._buckets[tenant] = bucket
+
+        if not bucket.try_take(now):
+            return self._reject(REASON_RATE_LIMITED, tenant, flow_key)
+        if self._tenant_flows.get(tenant, 0) >= policy.max_flows:
+            return self._reject(REASON_TENANT_FULL, tenant, flow_key)
+
+        index = shard_index(tenant, flow_key, len(self.shards))
+        shard = self.shards[index]
+        if self._reserved_bps[index] + self.flow_reserve_bps \
+                > shard.capacity_bps:
+            return self._reject(REASON_SHARD_FULL, tenant, flow_key)
+
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        shard.install_route(flow_id, client_addr)
+        self._reserved_bps[index] += self.flow_reserve_bps
+        self._tenant_flows[tenant] = self._tenant_flows.get(tenant, 0) + 1
+        self.flows[flow_id] = _FlowRecord(tenant, flow_key, index,
+                                          client_addr)
+        self.admitted += 1
+        return AdmissionDecision(admitted=True, reason="ok", tenant=tenant,
+                                 flow_key=flow_key, flow_id=flow_id,
+                                 shard_id=shard.shard_id,
+                                 shard_addr=shard.addr)
+
+    def deregister(self, flow_id: int) -> bool:
+        """Tear a flow down: release budgets, remove the shard route."""
+        record = self.flows.pop(flow_id, None)
+        if record is None:
+            return False
+        self._reserved_bps[record.shard_index] -= self.flow_reserve_bps
+        self._tenant_flows[record.tenant] -= 1
+        self.shards[record.shard_index].remove_route(flow_id)
+        return True
+
+    def _reject(self, reason: str, tenant: str,
+                flow_key: int) -> AdmissionDecision:
+        self.rejected[reason] += 1
+        return AdmissionDecision(admitted=False, reason=reason,
+                                 tenant=tenant, flow_key=flow_key)
+
+    # -- introspection -----------------------------------------------------
+
+    def shard_population(self) -> Dict[int, int]:
+        """shard_id -> number of live flows placed there."""
+        counts = {shard.shard_id: 0 for shard in self.shards}
+        for record in self.flows.values():
+            counts[self.shards[record.shard_index].shard_id] += 1
+        return counts
+
+    def total_rejected(self) -> int:
+        return sum(self.rejected.values())

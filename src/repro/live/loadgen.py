@@ -1,0 +1,420 @@
+"""Load generator: hundreds of live PELS flows against the shard pool.
+
+:func:`run_load` is the blocking entry point behind the L2 experiment
+and the ``pels gateway`` CLI subcommand.  One invocation:
+
+1. spawns ``config.shards`` router shard processes
+   (:class:`~repro.live.shard.RouterShard`), each a bottleneck sized so
+   its expected flow population operates at the Lemma 6 point
+   ``r* = C_s/N_s + α/β`` — per-flow capacity share
+   ``flow_share_bps`` times the expected flows per shard, times
+   ``capacity_headroom`` slack for hash imbalance;
+2. registers ``config.flows`` flows through the
+   :class:`~repro.live.gateway.LiveGateway` (tenants round-robin),
+   timing the loop — the reported *flows/sec admitted*;
+3. streams from one :class:`~repro.live.server.LiveServer` (tenant-
+   grouped pacing, per-flow destinations = each flow's shard) to one
+   :class:`~repro.live.client.LiveClient` endpoint that demultiplexes
+   every flow, for ``config.duration`` wall seconds;
+4. measures over the post-warmup window — per-flow delivered bytes by
+   snapshot difference, per-color one-way delay percentiles from the
+   client's probes — then stops the shards and collects their final
+   stats (packet counters, CPU seconds) over the control pipes.
+
+The flow population scales the equilibrium, not the operating point:
+capacity per shard grows linearly in its flows, so the virtual loss
+``p* = (α/β) / (C_s/N_s + α/β)`` and the green-load fraction are the
+same at 50 flows and at 800 — what changes is the packet rate, which
+is the thing under test.
+
+Everything here is driven by ``config.seed``: shard placement is a
+stable hash, flow ids are allocated in registration order, and the
+seed reaches the server's cross-traffic jitter RNG — a rerun with the
+same config exercises the identical admission and routing decisions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cc.mkc import mkc_stationary_rate
+from ..core.pels_queue import PelsQueueConfig
+from ..video.fgs import FgsConfig
+from .client import LiveClient
+from .gateway import AdmissionDecision, LiveGateway, TenantPolicy
+from .server import LiveServer
+from .shard import RouterShard, ShardConfig, ShardStats, SOCKET_BUFFER_BYTES
+
+__all__ = ["LoadConfig", "ShardLoad", "LoadResult", "run_load"]
+
+
+def _default_fgs() -> FgsConfig:
+    """A low-rate layered stream: 250-byte packets, ~6.1 kb/s base.
+
+    Sized so one loadgen process can drive hundreds of flows: at the
+    Lemma 6 point of the default config each flow sends ~7 pkts/s.
+    """
+    return FgsConfig(packet_size=250, frame_packets=64, green_packets=2,
+                     frame_interval=0.65625)
+
+
+def _default_queue() -> PelsQueueConfig:
+    """Bottleneck queue for load runs: the whole port is PELS.
+
+    ``internet_weight`` is epsilon (weights must be positive) so the
+    PELS share is ~1.0 and no CBR filler traffic is needed to realize
+    it; buffers are sized for hundreds of flows per shard.
+    """
+    return PelsQueueConfig(pels_weight=1.0, internet_weight=1e-6,
+                           green_buffer=256, yellow_buffer=512,
+                           red_buffer=64, internet_buffer=16)
+
+
+@dataclass
+class LoadConfig:
+    """Parameters of one gateway load run."""
+
+    flows: int = 50
+    shards: int = 1
+    duration: float = 8.0
+    tenants: int = 4
+    host: str = "127.0.0.1"
+
+    #: Per-flow capacity share: C_s = flow_share_bps x expected flows
+    #: per shard (x headroom).  With alpha/beta below, Lemma 6 gives
+    #: r* ~= flow_share + alpha/beta regardless of the flow count.
+    flow_share_bps: float = 12_000.0
+    capacity_headroom: float = 1.25
+    alpha_bps: float = 1_000.0
+    beta: float = 0.5
+    #: Start near the equilibrium so the measurement window is steady.
+    initial_rate_bps: float = 14_000.0
+    max_rate_bps: float = 64_000.0
+
+    fgs: FgsConfig = field(default_factory=_default_fgs)
+    queue: PelsQueueConfig = field(default_factory=_default_queue)
+    feedback_interval: float = 0.030
+    feedback_window: int = 5
+    service_tick: float = 0.002
+    #: Grouped-pacer wake period (one wake advances a whole tenant).
+    pace_tick: float = 0.010
+    recv_batch: int = 64
+
+    warmup_fraction: float = 0.4
+    drain: float = 0.25
+    seed: Optional[int] = None
+
+    #: Flows torn down (gateway deregister + sender retire) at half the
+    #: run — exercises the partial-report path; 0 disables churn.
+    churn_flows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flows < 1 or self.shards < 1:
+            raise ValueError("need at least one flow and one shard")
+        if self.tenants < 1:
+            raise ValueError("need at least one tenant")
+        if not 0 <= self.warmup_fraction < 1:
+            raise ValueError("warmup fraction must be in [0, 1)")
+        if self.churn_flows >= self.flows:
+            raise ValueError("churn must leave at least one flow running")
+
+    def shard_capacity_bps(self) -> float:
+        """PELS capacity of one shard (C_s), headroom included."""
+        expected = math.ceil(self.flows / self.shards)
+        return self.flow_share_bps * expected * self.capacity_headroom
+
+    def tenant_of(self, flow_key: int) -> str:
+        return f"tenant-{flow_key % self.tenants}"
+
+    def controller_kwargs(self) -> dict:
+        return {"initial_rate_bps": self.initial_rate_bps,
+                "max_rate_bps": self.max_rate_bps,
+                "alpha_bps": self.alpha_bps, "beta": self.beta}
+
+
+@dataclass
+class ShardLoad:
+    """Measured vs oracle behavior of one shard over the window."""
+
+    shard_id: int
+    n_flows: int
+    capacity_bps: float
+    #: Lemma 6 sending rate r* = C_s/N_s + alpha/beta for this shard's
+    #: actual population.
+    lemma6_rate_bps: float
+    #: Oracle delivered goodput: min(C_s, N_s x r*).
+    oracle_goodput_bps: float
+    goodput_bps: float
+    mean_flow_goodput_bps: float
+    #: min/max of per-flow delivered rates (1.0 = perfectly fair).
+    fairness: float
+    green_drops: int
+    drops: List[int]
+    arrivals: List[int]
+    forwarded: List[int]
+    mean_virtual_loss: float
+    cpu_seconds: float
+    wall_seconds: float
+
+    @property
+    def goodput_vs_oracle(self) -> float:
+        return self.goodput_bps / self.oracle_goodput_bps \
+            if self.oracle_goodput_bps else float("nan")
+
+
+@dataclass
+class LoadResult:
+    """Everything the L2 experiment and the CLI report."""
+
+    config: LoadConfig
+    admitted: int
+    rejected: Dict[str, int]
+    registration_seconds: float
+    flows_per_sec: float
+    elapsed: float
+    window_seconds: float
+    aggregate_goodput_bps: float
+    oracle_goodput_bps: float
+    #: color name -> {count, mean_ms, p50_ms, p99_ms} over the window.
+    delays: Dict[str, Dict[str, float]]
+    green_drops: int
+    cpu_seconds: float
+    per_shard: List[ShardLoad]
+    churned: int = 0
+
+    @property
+    def goodput_vs_oracle(self) -> float:
+        return self.aggregate_goodput_bps / self.oracle_goodput_bps \
+            if self.oracle_goodput_bps else float("nan")
+
+    @property
+    def cpu_seconds_per_flow(self) -> float:
+        return self.cpu_seconds / self.admitted if self.admitted \
+            else float("nan")
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile; NaN on empty input."""
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       max(0, math.ceil(q * len(ordered)) - 1))]
+
+
+def _endpoint_socket(host: str) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, opt, SOCKET_BUFFER_BYTES)
+        except OSError:
+            pass
+    sock.bind((host, 0))
+    sock.setblocking(False)
+    return sock
+
+
+async def _drive(config: LoadConfig, shards: List[RouterShard]) -> dict:
+    """The in-loop phase: register, stream, measure, snapshot."""
+    from ..core.clock import WallClock
+
+    clock = WallClock()
+    loop = asyncio.get_running_loop()
+
+    client = LiveClient(clock, green_packets=config.fgs.green_packets)
+    client_transport, _ = await loop.create_datagram_endpoint(
+        lambda: client, sock=_endpoint_socket(config.host))
+    client_addr = client_transport.get_extra_info("sockname")[:2]
+
+    # Admission: per-flow reserve = the capacity share (headroom stays
+    # spare), tenants get an effectively-open policy — L2 measures the
+    # gateway's throughput, not its limits (tier-1 tests cover those).
+    gateway = LiveGateway(
+        clock, shards, flow_reserve_bps=config.flow_share_bps,
+        default_policy=TenantPolicy(
+            max_flows=config.flows,
+            registration_rate=1_000_000.0, registration_burst=config.flows))
+    decisions: List[AdmissionDecision] = []
+    reg_started = time.perf_counter()
+    for flow_key in range(config.flows):
+        decisions.append(gateway.register(config.tenant_of(flow_key),
+                                          flow_key, client_addr))
+    registration_seconds = time.perf_counter() - reg_started
+    admitted = [d for d in decisions if d.admitted]
+    if not admitted:
+        raise RuntimeError(
+            "gateway admitted no flows: reserve "
+            f"{config.flow_share_bps:.0f} bps/flow against shard capacity "
+            f"{config.shard_capacity_bps():.0f} bps")
+
+    server = LiveServer(
+        clock, 0,
+        controller_kwargs=config.controller_kwargs(),
+        fgs=config.fgs, cbr_rate_bps=0.0, pace_tick=config.pace_tick,
+        flow_ids=[d.flow_id for d in admitted],
+        flow_tenants={d.flow_id: d.tenant for d in admitted},
+        grouped_pacing=True, seed=config.seed)
+    for decision in admitted:
+        server.flows[decision.flow_id].dst_addr = decision.shard_addr
+    server_transport, _ = await loop.create_datagram_endpoint(
+        lambda: server, sock=_endpoint_socket(config.host))
+    client.server_addr = server_transport.get_extra_info("sockname")[:2]
+
+    flow_shard = {d.flow_id: d.shard_id for d in admitted}
+    churn_ids: List[int] = []
+    if config.churn_flows:
+        stride = max(1, len(admitted) // config.churn_flows)
+        churn_ids = [d.flow_id
+                     for d in admitted[::stride][:config.churn_flows]]
+
+    server.start()
+    try:
+        warmup = config.duration * config.warmup_fraction
+        first_half = max(0.0, config.duration / 2 - warmup)
+        await asyncio.sleep(warmup)
+        window_started = clock.now
+        before = {flow_id: receiver.bytes_received
+                  for flow_id, receiver in client.flows.items()}
+        if churn_ids:
+            await asyncio.sleep(first_half)
+            for flow_id in churn_ids:
+                server.retire_flow(flow_id)
+                gateway.deregister(flow_id)
+            await asyncio.sleep(config.duration - warmup - first_half)
+        else:
+            await asyncio.sleep(config.duration - warmup)
+        await server.stop()
+        await asyncio.sleep(config.drain)
+    finally:
+        await server.stop()
+        elapsed = clock.now
+        window = elapsed - window_started
+
+    delivered = {flow_id: receiver.bytes_received - before.get(flow_id, 0)
+                 for flow_id, receiver in client.flows.items()}
+    delays: Dict[str, Dict[str, float]] = {}
+    for color in ("green", "yellow", "red"):
+        samples: List[float] = []
+        for receiver in client.flows.values():
+            probe = receiver.delay_probes[
+                next(c for c in receiver.delay_probes
+                     if c.name.lower() == color)]
+            samples.extend(v for t, v in probe.series.window(
+                window_started, float("inf")))
+        delays[color] = {
+            "count": float(len(samples)),
+            "mean_ms": (sum(samples) / len(samples)) * 1000
+            if samples else float("nan"),
+            "p50_ms": _percentile(samples, 0.50) * 1000,
+            "p99_ms": _percentile(samples, 0.99) * 1000,
+        }
+
+    server_transport.close()
+    client_transport.close()
+    return {
+        "decisions": decisions,
+        "registration_seconds": registration_seconds,
+        "flow_shard": flow_shard,
+        "delivered": delivered,
+        "delays": delays,
+        "elapsed": elapsed,
+        "window": window,
+        "churned": len(churn_ids),
+    }
+
+
+def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
+    """Run one gateway load session to completion (blocking)."""
+    config = config or LoadConfig()
+    capacity = config.shard_capacity_bps()
+    shards = [RouterShard(ShardConfig(
+        shard_id=index + 1, host=config.host,
+        # pels_share < 1 by epsilon; divide so capacity_bps == C_s.
+        bottleneck_bps=capacity / config.queue.pels_share(),
+        queue=config.queue, feedback_interval=config.feedback_interval,
+        feedback_window=config.feedback_window,
+        service_tick=config.service_tick, recv_batch=config.recv_batch))
+        for index in range(config.shards)]
+    stats: Dict[int, Optional[ShardStats]] = {}
+    try:
+        for shard in shards:
+            shard.start()
+        measured = asyncio.run(_drive(config, shards))
+    finally:
+        for shard in shards:
+            stats[shard.shard_id] = shard.stop()
+
+    decisions: List[AdmissionDecision] = measured["decisions"]
+    admitted = [d for d in decisions if d.admitted]
+    rejected: Dict[str, int] = {}
+    for decision in decisions:
+        if not decision.admitted:
+            rejected[decision.reason] = rejected.get(decision.reason, 0) + 1
+
+    flow_shard: Dict[int, int] = measured["flow_shard"]
+    delivered: Dict[int, int] = measured["delivered"]
+    window: float = measured["window"]
+
+    per_shard: List[ShardLoad] = []
+    total_goodput = 0.0
+    total_oracle = 0.0
+    green_drops = 0
+    cpu_total = 0.0
+    for shard in shards:
+        shard_stats = stats.get(shard.shard_id)
+        flow_ids = [d.flow_id for d in admitted
+                    if flow_shard[d.flow_id] == shard.shard_id]
+        rates = [delivered.get(flow_id, 0) * 8 / window
+                 for flow_id in flow_ids] if window > 0 else []
+        goodput = sum(rates)
+        n_flows = len(flow_ids)
+        r_star = mkc_stationary_rate(shard.capacity_bps, n_flows,
+                                     config.alpha_bps, config.beta) \
+            if n_flows else float("nan")
+        oracle = min(shard.capacity_bps, n_flows * r_star) if n_flows \
+            else 0.0
+        fairness = (min(rates) / max(rates)
+                    if rates and max(rates) > 0 else float("nan"))
+        drops = shard_stats.drops if shard_stats else [0, 0, 0, 0]
+        per_shard.append(ShardLoad(
+            shard_id=shard.shard_id, n_flows=n_flows,
+            capacity_bps=shard.capacity_bps, lemma6_rate_bps=r_star,
+            oracle_goodput_bps=oracle, goodput_bps=goodput,
+            mean_flow_goodput_bps=goodput / n_flows if n_flows
+            else float("nan"),
+            fairness=fairness, green_drops=drops[0], drops=list(drops),
+            arrivals=list(shard_stats.arrivals) if shard_stats
+            else [0, 0, 0, 0],
+            forwarded=list(shard_stats.forwarded) if shard_stats
+            else [0, 0, 0, 0],
+            mean_virtual_loss=shard_stats.mean_virtual_loss
+            if shard_stats else float("nan"),
+            cpu_seconds=shard_stats.cpu_seconds if shard_stats else 0.0,
+            wall_seconds=shard_stats.wall_seconds if shard_stats else 0.0))
+        total_goodput += goodput
+        total_oracle += oracle
+        green_drops += drops[0]
+        cpu_total += per_shard[-1].cpu_seconds
+
+    registration_seconds = measured["registration_seconds"]
+    return LoadResult(
+        config=config,
+        admitted=len(admitted),
+        rejected=rejected,
+        registration_seconds=registration_seconds,
+        flows_per_sec=len(admitted) / registration_seconds
+        if registration_seconds > 0 else float("inf"),
+        elapsed=measured["elapsed"],
+        window_seconds=window,
+        aggregate_goodput_bps=total_goodput,
+        oracle_goodput_bps=total_oracle,
+        delays=measured["delays"],
+        green_drops=green_drops,
+        cpu_seconds=cpu_total,
+        per_shard=per_shard,
+        churned=measured["churned"])

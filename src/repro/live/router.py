@@ -1,9 +1,9 @@
 """The userspace software router: Fig. 4's output port over real UDP.
 
-One asyncio datagram endpoint plays the bottleneck router: datagrams
-arriving from the server are classified into the tri-color PELS queues
-(green, yellow, red — served strict-priority) or the Internet FIFO, and
-a service task drains the composite under deficit weighted round-robin,
+One datagram endpoint plays the bottleneck router: datagrams arriving
+from the server are classified into the tri-color PELS queues (green,
+yellow, red — served strict-priority) or the Internet FIFO, and a
+service task drains the composite under deficit weighted round-robin,
 paced by a token bucket filled at the bottleneck link rate.  Every
 ``T`` wall-seconds an epoch task closes the Eq. 11 measurement interval
 through the clock-free :class:`~repro.core.feedback.FeedbackComputer`
@@ -20,11 +20,26 @@ Two deliberate wall-clock defenses:
 * the service task is credit-based — each wake-up converts elapsed time
   into byte tokens and drains whatever they cover — so sleep overshoot
   shifts service in bursts but never loses capacity.
+
+The per-datagram paths are written for throughput (a shard process must
+sustain >=10k pkts/s; ``benchmarks/test_bench_live.py`` gates it):
+
+* classification peeks the raw color byte and indexes flat lists — no
+  ``Color`` enum construction, no dict hashing, no header decode;
+* the forwarding path peeks the flow id with a cached 4-byte ``Struct``
+  for the route lookup and re-stamps the label with ``pack_into`` —
+  the 48-byte header is never fully unpacked inside the router;
+* when bound to a raw socket (:meth:`bind_socket`, the shard-process
+  mode), one readiness wake-up of the event loop drains a whole batch
+  of datagrams instead of paying the loop overhead per packet;
+* the service loop's queue handles and counters are pre-bound locals —
+  ``_drain`` is a straight-line byte-credit loop.
 """
 
 from __future__ import annotations
 
 import asyncio
+import socket
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -35,12 +50,18 @@ from ..obs.metrics import current_registry
 from ..obs.trace import current_tracer
 from ..sim.packet import Color
 from ..sim.stats import TimeSeries
-from .wire import HEADER_SIZE, peek_color, stamp_label
+from .wire import HEADER_SIZE, peek_flow_id, stamp_label
 
 __all__ = ["LiveRouter"]
 
 #: Queue service order inside the PELS aggregate (strict priority).
 _PELS_COLORS = (Color.GREEN, Color.YELLOW, Color.RED)
+
+#: Raw color byte of best-effort traffic (= int(Color.BEST_EFFORT)).
+_BE = 3
+
+#: Byte offset of the color mark in the wire header (see wire.py).
+_COLOR_OFFSET = 20
 
 
 class LiveRouter(asyncio.DatagramProtocol):
@@ -67,24 +88,36 @@ class LiveRouter(asyncio.DatagramProtocol):
         Target sleep of the token-bucket service loop.  Each wake
         drains every packet the accumulated credit covers, so the tick
         bounds burstiness, not throughput.
+    recv_batch:
+        Datagrams read per event-loop wake in :meth:`bind_socket` mode
+        (one reader callback drains up to this many before yielding).
+
+    Forwarding destinations: :attr:`flow_routes` maps a flow id to the
+    receiver address the gateway registered for it; datagrams whose
+    flow id has no route (cross traffic, the single-session stack) fall
+    back to :attr:`dst_addr`.
     """
 
     def __init__(self, clock: Clock, bottleneck_bps: float,
                  config: Optional[PelsQueueConfig] = None,
                  interval: float = 0.030, router_id: int = 1,
                  window_intervals: int = 5,
-                 service_tick: float = 0.002) -> None:
+                 service_tick: float = 0.002,
+                 recv_batch: int = 64) -> None:
         if bottleneck_bps <= 0:
             raise ValueError("bottleneck rate must be positive")
         if router_id < 1:
             raise ValueError("router ids start at 1 (0 = unstamped)")
         if service_tick <= 0:
             raise ValueError("service tick must be positive")
+        if recv_batch < 1:
+            raise ValueError("recv batch must be at least one datagram")
         self.clock = clock
         self.bottleneck_bps = bottleneck_bps
         self.config = config or PelsQueueConfig()
         self.interval = interval
         self.service_tick = service_tick
+        self.recv_batch = recv_batch
         self.feedback = FeedbackComputer(
             bottleneck_bps * self.config.pels_share(), interval=interval,
             router_id=router_id, window_intervals=window_intervals)
@@ -92,18 +125,18 @@ class LiveRouter(asyncio.DatagramProtocol):
 
         cfg = self.config
         #: Per-color drop-tail queues of raw datagrams (as bytearrays,
-        #: so labels can be stamped in place at service time).
-        self._queues: Dict[Color, Deque[bytearray]] = {
-            Color.GREEN: deque(), Color.YELLOW: deque(),
-            Color.RED: deque(), Color.BEST_EFFORT: deque(),
-        }
-        self._limits = {Color.GREEN: cfg.green_buffer,
-                        Color.YELLOW: cfg.yellow_buffer,
-                        Color.RED: cfg.red_buffer,
-                        Color.BEST_EFFORT: cfg.internet_buffer}
-        self.arrivals = {color: 0 for color in self._queues}
-        self.drops = {color: 0 for color in self._queues}
-        self.forwarded = {color: 0 for color in self._queues}
+        #: so labels can be stamped in place at service time), indexed
+        #: by the raw color byte — ``Color`` is an IntEnum, so enum
+        #: subscripts keep working for callers while the hot path uses
+        #: plain ints.
+        self._queues: List[Deque[bytearray]] = [deque(), deque(),
+                                                deque(), deque()]
+        self._green, self._yellow, self._red, self._internet = self._queues
+        self._limits = [cfg.green_buffer, cfg.yellow_buffer,
+                        cfg.red_buffer, cfg.internet_buffer]
+        self.arrivals = [0, 0, 0, 0]
+        self.drops = [0, 0, 0, 0]
+        self.forwarded = [0, 0, 0, 0]
         # Deficit WRR between the PELS aggregate and the Internet FIFO,
         # mirroring WeightedRoundRobinScheduler: each aggregate earns
         # quantum * weight per round and spends it in bytes.
@@ -113,8 +146,12 @@ class LiveRouter(asyncio.DatagramProtocol):
         self._deficit = [0.0, 0.0]
         self._wrr_turn = 0
 
+        #: Per-flow forwarding destinations (gateway-installed routes).
+        self.flow_routes: Dict[int, Tuple[str, int]] = {}
         self.dst_addr: Optional[Tuple[str, int]] = None
         self.transport: Optional[asyncio.DatagramTransport] = None
+        self._sock: Optional[socket.socket] = None
+        self._sock_loop: Optional[asyncio.AbstractEventLoop] = None
         self.loss_series = TimeSeries("virtual-loss")
         self.rate_series = TimeSeries("pels-arrival-rate")
         self._trace = current_tracer()
@@ -130,15 +167,55 @@ class LiveRouter(asyncio.DatagramProtocol):
         self.transport = transport
 
     def datagram_received(self, data: bytes, addr) -> None:
-        """Classify + enqueue; malformed datagrams are dropped."""
+        self._ingest(data)
+
+    # -- raw-socket mode (shard processes) ---------------------------------
+
+    def bind_socket(self, sock: socket.socket,
+                    loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        """Serve a non-blocking UDP socket with batched reads.
+
+        Registers a readiness callback that drains up to ``recv_batch``
+        datagrams per event-loop wake — the asyncio datagram protocol
+        pays one callback (and one loop iteration) per packet, which at
+        thousands of packets per second is the dominant cost.  The
+        socket is also the forwarding transport (``sock.sendto``).
+        """
+        if self.transport is not None:
+            raise RuntimeError("router already has a datagram transport")
+        sock.setblocking(False)
+        self._sock = sock
+        self._sock_loop = loop or asyncio.get_running_loop()
+        self._sock_loop.add_reader(sock.fileno(), self._on_readable)
+
+    def _on_readable(self) -> None:
+        """One readiness wake: ingest a batch of datagrams."""
+        recv = self._sock.recvfrom
+        ingest = self._ingest
+        for _ in range(self.recv_batch):
+            try:
+                data, _addr = recv(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            ingest(data)
+
+    # -- ingest (hot path) -------------------------------------------------
+
+    def _ingest(self, data: bytes) -> None:
+        """Classify + enqueue; malformed datagrams are dropped.
+
+        Peeks the raw color byte instead of decoding the header; all
+        bookkeeping is flat-list indexing on it.
+        """
         if len(data) < HEADER_SIZE:
             return
-        try:
-            color = Color(peek_color(data))
-        except ValueError:
+        color = data[_COLOR_OFFSET]
+        if color > _BE:
             return
         self.arrivals[color] += 1
-        if color is not Color.BEST_EFFORT:
+        if color != _BE:
             # Eq. 11 counts PELS arrivals at the port, before any drop,
             # exactly as RouterFeedback.observe counts in the simulator.
             self._pels_bytes += len(data)
@@ -146,11 +223,11 @@ class LiveRouter(asyncio.DatagramProtocol):
         if len(queue) >= self._limits[color]:
             self.drops[color] += 1
             if self._trace is not None:
-                self._trace.drop("live-router", "overflow", int(color), -1)
+                self._trace.drop("live-router", "overflow", color, -1)
             return
         queue.append(bytearray(data))
         if self._trace is not None:
-            self._trace.enqueue("live-router", int(color), -1, True)
+            self._trace.enqueue("live-router", color, -1, True)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -168,34 +245,40 @@ class LiveRouter(asyncio.DatagramProtocol):
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+        if self._sock is not None and self._sock_loop is not None:
+            self._sock_loop.remove_reader(self._sock.fileno())
+            self._sock_loop = None
 
     # -- service path ------------------------------------------------------
 
     def _dequeue_pels(self) -> Optional[bytearray]:
-        for color in _PELS_COLORS:
+        for color in (0, 1, 2):
             queue = self._queues[color]
             if queue:
                 self.forwarded[color] += 1
                 if self._trace is not None:
-                    self._trace.dequeue("live-router", int(color), -1)
+                    self._trace.dequeue("live-router", color, -1)
                 return queue.popleft()
         return None
 
     def _dequeue_internet(self) -> Optional[bytearray]:
-        queue = self._queues[Color.BEST_EFFORT]
+        queue = self._internet
         if queue:
-            self.forwarded[Color.BEST_EFFORT] += 1
+            self.forwarded[_BE] += 1
             return queue.popleft()
         return None
 
     def _next_datagram(self) -> Optional[bytearray]:
         """One deficit-WRR service decision across the two aggregates."""
+        green, yellow, red = self._green, self._yellow, self._red
         for _ in range(2):
             turn = self._wrr_turn
-            dequeue = self._dequeue_pels if turn == 0 \
-                else self._dequeue_internet
-            queue_empty = not any(self._queues[c] for c in _PELS_COLORS) \
-                if turn == 0 else not self._queues[Color.BEST_EFFORT]
+            if turn == 0:
+                dequeue = self._dequeue_pels
+                queue_empty = not (green or yellow or red)
+            else:
+                dequeue = self._dequeue_internet
+                queue_empty = not self._internet
             if queue_empty:
                 # Empty aggregates forfeit their deficit (standard DRR),
                 # so an idle Internet queue cannot bank credit.
@@ -216,11 +299,37 @@ class LiveRouter(asyncio.DatagramProtocol):
 
     def _head(self, turn: int) -> bytearray:
         if turn == 1:
-            return self._queues[Color.BEST_EFFORT][0]
-        for color in _PELS_COLORS:
-            if self._queues[color]:
-                return self._queues[color][0]
+            return self._internet[0]
+        for queue in (self._green, self._yellow, self._red):
+            if queue:
+                return queue[0]
         raise AssertionError("head() on empty aggregate")
+
+    def _drain(self, credit: float) -> float:
+        """Forward every datagram ``credit`` bytes cover; return the rest.
+
+        Synchronous so the service loop stays a straight token-credit
+        computation per wake (and so WRR/put-back behavior is unit-
+        testable under a :class:`~repro.core.clock.ManualClock` without
+        sockets or sleeps).  A datagram dequeued under WRR that the
+        link has no credit for yet is put back at the head of its
+        queue with its deficit refunded — it was not serviced.
+        """
+        next_datagram = self._next_datagram
+        forward = self._forward
+        while True:
+            pending = next_datagram()
+            if pending is None:
+                return credit
+            size = len(pending)
+            if credit < size:
+                color = pending[_COLOR_OFFSET]
+                self._queues[color].appendleft(pending)
+                self.forwarded[color] -= 1
+                self._deficit[0 if color != _BE else 1] += size
+                return credit
+            credit -= size
+            forward(pending)
 
     async def _serve(self) -> None:
         """Token-bucket pacing at the bottleneck link rate."""
@@ -229,40 +338,37 @@ class LiveRouter(asyncio.DatagramProtocol):
         # burst without ever exceeding the configured average rate.
         burst_bytes = max(4 * bytes_per_second * self.service_tick,
                           2 * self.config.quantum_bytes)
+        tick = self.service_tick
+        sleep = asyncio.sleep
+        drain = self._drain
+        clock = self.clock
         credit = 0.0
-        last = self.clock.now
+        last = clock.now
         while self._running:
-            await asyncio.sleep(self.service_tick)
-            now = self.clock.now
+            await sleep(tick)
+            now = clock.now
             credit = min(credit + (now - last) * bytes_per_second,
                          burst_bytes)
             last = now
-            while True:
-                pending = self._next_datagram()
-                if pending is None:
-                    break
-                if credit < len(pending):
-                    # Put it back at the head: it was dequeued but the
-                    # link has no room for it yet this tick.
-                    color = Color(peek_color(pending))
-                    aggregate = Color.BEST_EFFORT \
-                        if color is Color.BEST_EFFORT else color
-                    self._queues[aggregate].appendleft(pending)
-                    self.forwarded[aggregate] -= 1
-                    self._deficit[0 if color is not Color.BEST_EFFORT
-                                  else 1] += len(pending)
-                    break
-                credit -= len(pending)
-                self._forward(pending)
+            credit = drain(credit)
 
     def _forward(self, datagram: bytearray) -> None:
-        color = Color(peek_color(datagram))
-        if color is not Color.BEST_EFFORT:
+        if datagram[_COLOR_OFFSET] != _BE:
             stamp_label(datagram, self.feedback.label)
         if self._forwarded_counter is not None:
             self._forwarded_counter.inc()
-        if self.transport is not None and self.dst_addr is not None:
-            self.transport.sendto(bytes(datagram), self.dst_addr)
+        routes = self.flow_routes
+        dst = routes.get(peek_flow_id(datagram), self.dst_addr) if routes \
+            else self.dst_addr
+        if dst is None:
+            return
+        if self._sock is not None:
+            try:
+                self._sock.sendto(datagram, dst)
+            except (BlockingIOError, OSError):
+                pass  # full socket buffer == wire loss; drop silently
+        elif self.transport is not None:
+            self.transport.sendto(bytes(datagram), dst)
 
     # -- Eq. 11 epochs -----------------------------------------------------
 
@@ -288,3 +394,6 @@ class LiveRouter(asyncio.DatagramProtocol):
 
     def mean_virtual_loss(self, t_start: float = 0.0) -> float:
         return self.loss_series.mean(t_start, float("inf"))
+
+    def total_forwarded(self) -> int:
+        return sum(self.forwarded)

@@ -1,33 +1,50 @@
 """The live PELS sender: FGS packetization + closed-loop control.
 
-One datagram endpoint hosts every flow of the session.  Per flow, an
-asyncio task runs the frame clock: at each frame boundary it plans the
-frame with the standard marking policy (green base, yellow/red FGS
-split at the current gamma — the exact :func:`repro.video.fgs.plan_frame`
-the simulator uses) sized by the congestion controller's current rate,
-then paces the plan out with a credit loop that re-reads the controller
-rate continuously, so rate changes take effect within a few packet
-times, mirroring ``PelsSource``'s adaptive pacing.  If the rate drops
+One datagram endpoint hosts every flow of the session.  Per flow, the
+frame clock runs: at each frame boundary the frame is planned with the
+standard marking policy (green base, yellow/red FGS split at the
+current gamma — the exact :func:`repro.video.fgs.plan_frame` the
+simulator uses) sized by the congestion controller's current rate,
+then paced out with a credit loop that re-reads the controller rate
+continuously, so rate changes take effect within a few packet times,
+mirroring ``PelsSource``'s adaptive pacing.  If the rate drops
 mid-frame the unsent tail is truncated at the frame deadline — FGS
 truncation semantics.
 
+Two pacing modes share that frame logic:
+
+* **per-flow tasks** (default, the PR-5 behavior): one asyncio task per
+  flow sleeps its own pace tick — simple, and fine for a handful of
+  flows;
+* **tenant-grouped pacing** (``grouped_pacing=True``, the gateway
+  mode): one task per tenant advances every member flow's frame clock
+  each wake, so a thousand admitted flows cost a handful of timers per
+  tick instead of a thousand — the timer-wake amortization that makes
+  the sharded gateway's flow counts affordable.
+
 ACKs from the client arrive on the same endpoint (the reverse path
-bypasses the router).  Each ACK carries the label the client saw last;
-the per-flow :class:`~repro.core.feedback.FeedbackTracker` admits each
-router epoch once, and a fresh loss sample drives the registered rate
-controller (Eq. 8 for MKC) and the Eq. 4 gamma controller — the same
-controller *objects* the simulator drives, exercised here against
+bypasses the router).  The ACK path peeks the flow id and the
+``(router_id, z, p)`` label with cached ``Struct`` slices instead of
+decoding the full 48-byte header; the per-flow
+:class:`~repro.core.feedback.FeedbackTracker` admits each router epoch
+once, and a fresh loss sample drives the registered rate controller
+(Eq. 8 for MKC) and the Eq. 4 gamma controller — the same controller
+*objects* the simulator drives, exercised here against
 ``time.monotonic`` (see :mod:`repro.core.clock`).
 
 An optional CBR task keeps the Internet FIFO backlogged (best-effort
 color, its own flow id) so WRR grants the PELS aggregate exactly its
-configured share, as in the simulator's default scenario.
+configured share, as in the simulator's default scenario.  Its wake
+phase is jittered by a seeded RNG so the cross traffic cannot
+phase-lock with the router's service tick; passing the same ``seed``
+reproduces the jitter schedule.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Tuple
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cc.base import RateController, make_controller
 from ..core.clock import Clock
@@ -35,11 +52,11 @@ from ..core.colors import PelsMarkingPolicy
 from ..core.feedback import FeedbackTracker
 from ..core.gamma import GammaController
 from ..obs.trace import current_tracer
-from ..sim.packet import Color
+from ..sim.packet import Color, FeedbackLabel
 from ..sim.stats import TimeSeries
 from ..video.fgs import FgsConfig, PacketPlan
-from .wire import HEADER_SIZE, LivePacket, WireFormatError, decode_packet, \
-    encode_packet
+from .wire import (HEADER_SIZE, LivePacket, encode_packet, peek_flow_id,
+                   peek_is_valid, peek_label, peek_ptype)
 
 __all__ = ["LiveFlow", "LiveServer", "CROSS_TRAFFIC_FLOW_ID"]
 
@@ -57,8 +74,9 @@ class LiveFlow:
 
     def __init__(self, flow_id: int, controller: RateController,
                  gamma_controller: GammaController,
-                 fgs: FgsConfig) -> None:
+                 fgs: FgsConfig, tenant: str = "") -> None:
         self.flow_id = flow_id
+        self.tenant = tenant
         self.controller = controller
         self.gamma_controller = gamma_controller
         self.fgs = fgs
@@ -67,6 +85,12 @@ class LiveFlow:
         self.rate_series = TimeSeries(f"rate-flow{flow_id}")
         self.gamma_series = TimeSeries(f"gamma-flow{flow_id}")
         self.loss_series = TimeSeries(f"loss-flow{flow_id}")
+        #: Where this flow's data goes (its shard's router endpoint);
+        #: ``None`` falls back to the server-wide ``dst_addr``.
+        self.dst_addr: Optional[Tuple[str, int]] = None
+        #: Cleared by ``LiveServer.retire_flow``: a retired flow stops
+        #: emitting (mid-run teardown) but keeps its state for reports.
+        self.active = True
         self.next_seq = 0
         self.frame_id = -1
         self.packets_sent = 0
@@ -85,12 +109,35 @@ class LiveFlow:
         return self.gamma_controller.gamma
 
 
+class _PaceState:
+    """Frame-clock state of one flow inside a grouped pacer task."""
+
+    __slots__ = ("flow", "deadline", "plan", "pos", "counts", "credit",
+                 "last", "started")
+
+    def __init__(self, flow: LiveFlow, start_at: float) -> None:
+        self.flow = flow
+        self.deadline = start_at  # first frame begins at the phase offset
+        self.plan: Optional[List[PacketPlan]] = None
+        self.pos = 0
+        self.counts = [0, 0, 0]
+        self.credit = 0.0
+        self.last = start_at
+        self.started = False
+
+
 class LiveServer(asyncio.DatagramProtocol):
     """All sending flows of a live session behind one UDP endpoint.
 
     Parameters mirror the simulator's ``PelsScenario`` controller /
     gamma blocks; ``controller_kwargs`` is passed verbatim to
     :func:`repro.cc.base.make_controller`.
+
+    ``flow_ids`` overrides the default ``range(n_flows)`` identities —
+    the gateway allocates global flow ids, so a load generator builds
+    its server around the admitted set.  ``flow_tenants`` names each
+    flow's tenant; with ``grouped_pacing=True`` flows of one tenant
+    share a single pacer task (see module docstring).
     """
 
     def __init__(self, clock: Clock, n_flows: int,
@@ -99,7 +146,15 @@ class LiveServer(asyncio.DatagramProtocol):
                  gamma_kwargs: Optional[dict] = None,
                  fgs: Optional[FgsConfig] = None,
                  cbr_rate_bps: float = 0.0,
-                 pace_tick: float = 0.005) -> None:
+                 pace_tick: float = 0.005,
+                 flow_ids: Optional[Sequence[int]] = None,
+                 flow_tenants: Optional[Dict[int, str]] = None,
+                 grouped_pacing: bool = False,
+                 seed: Optional[int] = None) -> None:
+        if flow_ids is None:
+            flow_ids = range(n_flows)
+        else:
+            n_flows = len(flow_ids)
         if n_flows < 1:
             raise ValueError("need at least one live flow")
         if pace_tick <= 0:
@@ -108,13 +163,16 @@ class LiveServer(asyncio.DatagramProtocol):
         self.fgs = fgs or FgsConfig(frame_packets=256)
         self.pace_tick = pace_tick
         self.cbr_rate_bps = cbr_rate_bps
+        self.grouped_pacing = grouped_pacing
+        self._rng = random.Random(seed)
+        tenants = flow_tenants or {}
         self.flows: Dict[int, LiveFlow] = {}
-        for flow_id in range(n_flows):
+        for flow_id in flow_ids:
             self.flows[flow_id] = LiveFlow(
                 flow_id,
                 make_controller(controller_name, **(controller_kwargs or {})),
                 GammaController(**(gamma_kwargs or {})),
-                self.fgs)
+                self.fgs, tenant=tenants.get(flow_id, ""))
         self.dst_addr: Optional[Tuple[str, int]] = None
         self.transport: Optional[asyncio.DatagramTransport] = None
         self.cross_packets_sent = 0
@@ -128,18 +186,24 @@ class LiveServer(asyncio.DatagramProtocol):
         self.transport = transport
 
     def datagram_received(self, data: bytes, addr) -> None:
-        """Feedback path: ACKs echoing the freshest router label."""
-        try:
-            packet = decode_packet(data)
-        except WireFormatError:
+        """Feedback path: ACKs echoing the freshest router label.
+
+        Hot at gateway scale (one ACK per delivered data packet), so
+        the header is never fully decoded: validity, type, flow id and
+        the label are all cached-``Struct`` peeks.
+        """
+        if len(data) < HEADER_SIZE or peek_ptype(data) != 1 \
+                or not peek_is_valid(data):
             return
-        if not packet.is_ack:
-            return
-        flow = self.flows.get(packet.flow_id)
+        flow = self.flows.get(peek_flow_id(data))
         if flow is None:
             return
         flow.acks_received += 1
-        loss = flow.tracker.accept(packet.label)
+        router_id, epoch, loss_value = peek_label(data)
+        if router_id == 0:
+            return  # no router has stamped this packet's path yet
+        loss = flow.tracker.accept(FeedbackLabel(router_id, epoch,
+                                                 loss_value))
         if loss is None:
             return
         now = self.clock.now
@@ -157,12 +221,19 @@ class LiveServer(asyncio.DatagramProtocol):
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        """Launch one streaming task per flow (plus cross traffic)."""
+        """Launch the pacing tasks (plus cross traffic)."""
         if self._running:
             raise RuntimeError("server already started")
         self._running = True
-        self._tasks = [asyncio.ensure_future(self._stream(flow))
-                       for flow in self.flows.values()]
+        if self.grouped_pacing:
+            groups: Dict[str, List[LiveFlow]] = {}
+            for flow in self.flows.values():
+                groups.setdefault(flow.tenant, []).append(flow)
+            self._tasks = [asyncio.ensure_future(self._stream_group(members))
+                           for members in groups.values()]
+        else:
+            self._tasks = [asyncio.ensure_future(self._stream(flow))
+                           for flow in self.flows.values()]
         if self.cbr_rate_bps > 0:
             self._tasks.append(asyncio.ensure_future(self._cross_traffic()))
 
@@ -173,13 +244,13 @@ class LiveServer(asyncio.DatagramProtocol):
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
 
-    # -- transmit path -----------------------------------------------------
+    # -- transmit path (per-flow tasks) ------------------------------------
 
     async def _stream(self, flow: LiveFlow) -> None:
         """The frame clock of one flow: plan, then pace adaptively."""
         interval = flow.fgs.frame_interval
         await asyncio.sleep((flow.flow_id * _GOLDEN) % 1.0 * interval)
-        while self._running:
+        while self._running and flow.active:
             frame_start = self.clock.now
             deadline = frame_start + interval
             rate = flow.controller.rate_bps
@@ -226,6 +297,83 @@ class LiveServer(asyncio.DatagramProtocol):
                 await asyncio.sleep(min(self.pace_tick,
                                         max(0.0, deadline - now)))
 
+    # -- transmit path (grouped pacing) ------------------------------------
+
+    async def _stream_group(self, members: List[LiveFlow]) -> None:
+        """One pacer task advancing every flow of a tenant per wake.
+
+        Per wake: elapsed wall time becomes byte credit per flow at
+        that flow's instantaneous controller rate; frames begin at each
+        flow's own (golden-ratio phased) deadline and truncate at the
+        next one — the same semantics as the per-flow task, minus
+        ``len(members) - 1`` timers per tick.
+        """
+        interval = self.fgs.frame_interval
+        now = self.clock.now
+        states = [
+            _PaceState(flow,
+                       now + (flow.flow_id * _GOLDEN) % 1.0 * interval)
+            for flow in members]
+        advance = self._advance_flow
+        sleep = asyncio.sleep
+        tick = self.pace_tick
+        while self._running:
+            await sleep(tick)
+            now = self.clock.now
+            for state in states:
+                if state.flow.active:
+                    advance(state, now, interval)
+
+    def _begin_frame(self, state: _PaceState, now: float,
+                     interval: float) -> None:
+        flow = state.flow
+        if state.started:
+            flow.frame_log[flow.frame_id] = tuple(state.counts)
+        state.started = True
+        rate = flow.controller.rate_bps
+        gamma = flow.gamma_controller.gamma
+        flow.frame_id += 1
+        flow.frames_sent += 1
+        flow.rate_series.record(now, rate)
+        flow.gamma_series.record(now, gamma)
+        state.plan = flow.marking_policy.plan(rate, gamma)
+        state.pos = 0
+        state.counts = [0, 0, 0]
+        # Keep the frame cadence anchored to the phase offset; after a
+        # long stall, re-anchor at now instead of bursting catch-up
+        # frames back to back.
+        state.deadline += interval
+        if state.deadline <= now:
+            state.deadline = now + interval
+        state.credit = float(self.fgs.packet_size)  # first packet now
+        state.last = now
+
+    def _advance_flow(self, state: _PaceState, now: float,
+                      interval: float) -> None:
+        if not state.started:
+            if now < state.deadline:
+                return  # still inside the initial phase offset
+            self._begin_frame(state, now, interval)
+        elif now >= state.deadline:
+            # Frame boundary passed: truncate the unsent tail (FGS
+            # semantics) and plan the next frame.
+            self._begin_frame(state, now, interval)
+        flow = state.flow
+        plan = state.plan
+        credit = min(8.0 * self.fgs.packet_size,
+                     state.credit + (now - state.last) *
+                     flow.controller.rate_bps / 8)
+        state.last = now
+        pos = state.pos
+        counts = state.counts
+        emit = self._emit
+        while pos < len(plan) and credit >= plan[pos].size:
+            emit(flow, plan[pos], counts)
+            credit -= plan[pos].size
+            pos += 1
+        state.pos = pos
+        state.credit = credit
+
     def _emit(self, flow: LiveFlow, plan: PacketPlan,
               counts: List[int]) -> None:
         packet = LivePacket(flow_id=flow.flow_id, seq=flow.next_seq,
@@ -241,17 +389,24 @@ class LiveServer(asyncio.DatagramProtocol):
             counts[1] += 1
         else:
             counts[2] += 1
-        if self.transport is not None and self.dst_addr is not None:
-            self.transport.sendto(encode_packet(packet), self.dst_addr)
+        dst = flow.dst_addr or self.dst_addr
+        if self.transport is not None and dst is not None:
+            self.transport.sendto(encode_packet(packet), dst)
 
     async def _cross_traffic(self) -> None:
-        """Best-effort CBR keeping the Internet FIFO backlogged."""
+        """Best-effort CBR keeping the Internet FIFO backlogged.
+
+        The wake phase is jittered (seeded RNG) so the CBR emission
+        cannot phase-lock with the router's service tick; the byte
+        budget stays exactly ``cbr_rate_bps``.
+        """
         size = self.fgs.packet_size
         seq = 0
         credit = 0.0
         last = self.clock.now
+        uniform = self._rng.uniform
         while self._running:
-            await asyncio.sleep(self.pace_tick)
+            await asyncio.sleep(self.pace_tick * uniform(0.5, 1.5))
             now = self.clock.now
             credit = min(8.0 * size,
                          credit + (now - last) * self.cbr_rate_bps / 8)
@@ -268,6 +423,16 @@ class LiveServer(asyncio.DatagramProtocol):
                                           self.dst_addr)
 
     # -- introspection -----------------------------------------------------
+
+    def retire_flow(self, flow_id: int) -> None:
+        """Stop a flow's emission mid-run (gateway teardown path).
+
+        The flow object and its series stay queryable, so reports over
+        a retired flow are partial, not missing.
+        """
+        flow = self.flows.get(flow_id)
+        if flow is not None:
+            flow.active = False
 
     def enhancement_sent_per_frame(self, flow_id: int) -> Dict[int, int]:
         """frame_id -> FGS (yellow + red) packets actually emitted."""

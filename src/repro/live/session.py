@@ -84,6 +84,9 @@ class LiveConfig:
     #: Seconds granted after the senders stop for in-flight datagrams
     #: to drain through the router before teardown.
     drain: float = 0.25
+    #: Seeds the server-side RNG (cross-traffic wake jitter); packet
+    #: timings still vary run to run, the *schedule* does not.
+    seed: Optional[int] = None
 
     def pels_capacity_bps(self) -> float:
         """The PELS share of the bottleneck (``C`` of Eq. 11)."""
@@ -125,7 +128,12 @@ class LiveSessionResult:
         Foreman-like trace and R-D model, exactly as the simulator's
         F7 pipeline does.
         """
-        flow = self.server.flows[flow_id]
+        flow = self.server.flows.get(flow_id)
+        if flow is None:
+            raise ValueError(
+                f"flow {flow_id} has no sender-side record (rejected by "
+                f"admission or never registered); PSNR reconstruction "
+                f"needs the sender's frame log")
         receptions = self.client.flow(flow_id).frame_receptions(
             flow.frames_sent, self.config.fgs.green_packets,
             self.server.enhancement_sent_per_frame(flow_id))
@@ -161,7 +169,7 @@ async def _run(config: LiveConfig) -> LiveSessionResult:
                         controller_kwargs=config.controller_kwargs(),
                         gamma_kwargs=config.gamma_kwargs(),
                         fgs=config.fgs, cbr_rate_bps=cbr,
-                        pace_tick=config.pace_tick)
+                        pace_tick=config.pace_tick, seed=config.seed)
     server_transport, _ = await loop.create_datagram_endpoint(
         lambda: server, local_addr=(config.host, 0))
     server.dst_addr = router_addr
@@ -215,10 +223,28 @@ def build_live_report(result: LiveSessionResult,
     red_loss = (router.drops[Color.RED] / red_arrivals
                 if red_arrivals else None)
 
+    # Union of both endpoints' flow ids: a flow rejected by admission
+    # (or registered but never streamed) exists only server-side with
+    # zero frames; one torn down mid-run may have client-side state the
+    # server already forgot.  Either way the report carries a partial
+    # row instead of raising.
     flows: List[FlowReport] = []
-    for flow_id in sorted(result.server.flows):
-        flow = result.server.flows[flow_id]
+    flow_ids = sorted(set(result.server.flows) | set(result.client.flows))
+    for flow_id in flow_ids:
+        flow = result.server.flows.get(flow_id)
         receiver = result.client.flow(flow_id)
+        if flow is None:
+            delays = {}
+            for color in (Color.GREEN, Color.YELLOW, Color.RED):
+                probe = receiver.delay_probes[color]
+                if probe.count:
+                    delays[color.name.lower()] = probe.mean * 1000
+            flows.append(FlowReport(
+                flow_id=flow_id, mean_rate_bps=float("nan"),
+                gamma=float("nan"), packets_sent=0, frames_sent=0,
+                mean_utility=float("nan"),
+                base_intact_ratio=float("nan"), delays_ms=delays))
+            continue
         warmup_frames = int(flow.frames_sent * warmup_fraction)
         receptions = [r for r in receiver.frame_receptions(
             flow.frames_sent, config.fgs.green_packets,

@@ -1,0 +1,277 @@
+"""Router shard processes: one ``LiveRouter`` + bottleneck per core.
+
+A single asyncio event loop tops out well below the packet rates the
+gateway admits, so the bottleneck tier is sharded across processes:
+each shard process runs its own event loop hosting one
+:class:`~repro.live.router.LiveRouter` bound to its own UDP socket (the
+batched raw-socket mode), with its own Eq. 11 feedback identity
+(``router_id`` = shard id, so labels from different shards never alias
+in the per-flow :class:`~repro.core.feedback.FeedbackTracker`).
+
+The split between the planes is strict:
+
+* **data** never touches the pipe — senders transmit straight to the
+  shard's UDP port, the shard forwards straight to the receiver address
+  the gateway routed for that flow id;
+* **control** is a ``multiprocessing.Pipe`` carrying small tuples:
+  route installs/removals from the gateway, stats requests, stop.  The
+  child drains the pipe from a readiness callback on its event loop, so
+  control messages interleave with packet service without threads.
+
+:class:`RouterShard` is the parent-side handle (spawn, route, stats,
+stop); :func:`_shard_main` is the child entry point.  The fork start
+method is preferred when available — shard spawning is on the measured
+admission path and fork avoids the interpreter re-exec — falling back
+to the platform default otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.pels_queue import PelsQueueConfig
+
+__all__ = ["ShardConfig", "ShardStats", "RouterShard"]
+
+#: Socket buffer request for shard data sockets (and the load
+#: generator's endpoints): enough to ride out multi-millisecond
+#: scheduler stalls at 10k pkts/s x ~250-byte datagrams.
+SOCKET_BUFFER_BYTES = 1 << 21
+
+
+@dataclass
+class ShardConfig:
+    """Everything a shard child needs to build its router (picklable)."""
+
+    shard_id: int = 1
+    host: str = "127.0.0.1"
+    bottleneck_bps: float = 2_000_000.0
+    queue: PelsQueueConfig = field(default_factory=PelsQueueConfig)
+    feedback_interval: float = 0.030
+    feedback_window: int = 5
+    service_tick: float = 0.002
+    recv_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 1:
+            raise ValueError("shard ids start at 1 (they are router ids)")
+
+
+@dataclass
+class ShardStats:
+    """A stats snapshot shipped back over the control pipe."""
+
+    shard_id: int
+    port: int
+    #: Packet counters indexed by raw color byte (green, yellow, red,
+    #: best-effort) — same layout as ``LiveRouter``'s lists.
+    arrivals: List[int]
+    drops: List[int]
+    forwarded: List[int]
+    mean_virtual_loss: float
+    routes: int
+    #: CPU seconds consumed by the shard *process* (user + system) and
+    #: the wall seconds it has been serving — their ratio is the
+    #: shard's utilization.
+    cpu_seconds: float
+    wall_seconds: float
+
+    @property
+    def total_forwarded(self) -> int:
+        return sum(self.forwarded)
+
+
+def _snapshot(router, config: ShardConfig, port: int,
+              started: float) -> ShardStats:
+    return ShardStats(
+        shard_id=config.shard_id, port=port,
+        arrivals=list(router.arrivals), drops=list(router.drops),
+        forwarded=list(router.forwarded),
+        mean_virtual_loss=router.mean_virtual_loss(),
+        routes=len(router.flow_routes),
+        cpu_seconds=time.process_time(),
+        wall_seconds=time.monotonic() - started)
+
+
+async def _shard_serve(conn, config: ShardConfig) -> None:
+    import asyncio
+
+    from ..core.clock import WallClock
+    from .router import LiveRouter
+
+    loop = asyncio.get_running_loop()
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, opt, SOCKET_BUFFER_BYTES)
+        except OSError:
+            pass  # the OS cap applies; default sizes still work
+    sock.bind((config.host, 0))
+    port = sock.getsockname()[1]
+
+    router = LiveRouter(WallClock(), config.bottleneck_bps, config.queue,
+                        interval=config.feedback_interval,
+                        router_id=config.shard_id,
+                        window_intervals=config.feedback_window,
+                        service_tick=config.service_tick,
+                        recv_batch=config.recv_batch)
+    router.bind_socket(sock, loop)
+    router.start()
+    started = time.monotonic()
+    stopping = asyncio.Event()
+
+    def on_control() -> None:
+        try:
+            while conn.poll():
+                message = conn.recv()
+                kind = message[0]
+                if kind == "route":
+                    router.flow_routes[message[1]] = message[2]
+                elif kind == "unroute":
+                    router.flow_routes.pop(message[1], None)
+                elif kind == "default":
+                    router.dst_addr = message[1]
+                elif kind == "stats":
+                    conn.send(("stats",
+                               _snapshot(router, config, port, started)))
+                elif kind == "stop":
+                    stopping.set()
+        except (EOFError, OSError):
+            stopping.set()  # parent vanished: shut down cleanly
+
+    loop.add_reader(conn.fileno(), on_control)
+    conn.send(("ready", port))
+    try:
+        await stopping.wait()
+    finally:
+        loop.remove_reader(conn.fileno())
+        await router.stop()
+        try:
+            conn.send(("stopped", _snapshot(router, config, port, started)))
+        except (BrokenPipeError, OSError):
+            pass
+        sock.close()
+        conn.close()
+
+
+def _shard_main(conn, config: ShardConfig) -> None:
+    """Child process entry point: one event loop, one router."""
+    import asyncio
+    asyncio.run(_shard_serve(conn, config))
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+class RouterShard:
+    """Parent-side handle of one shard process.
+
+    The handle is the only thing the gateway sees: it exposes the
+    shard's data address, the route-install control verbs, and stats.
+    All control calls are synchronous pipe round-trips (or one-way
+    sends); the data plane never passes through this object.
+    """
+
+    def __init__(self, config: ShardConfig,
+                 start_timeout: float = 15.0) -> None:
+        self.config = config
+        self.start_timeout = start_timeout
+        self._conn = None
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._port: Optional[int] = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def shard_id(self) -> int:
+        return self.config.shard_id
+
+    @property
+    def capacity_bps(self) -> float:
+        """The shard's PELS capacity (admission budgets against this)."""
+        return self.config.bottleneck_bps * self.config.queue.pels_share()
+
+    @property
+    def addr(self) -> Tuple[str, int]:
+        if self._port is None:
+            raise RuntimeError("shard not started")
+        return (self.config.host, self._port)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "RouterShard":
+        if self._process is not None:
+            raise RuntimeError("shard already started")
+        ctx = _context()
+        self._conn, child_conn = ctx.Pipe()
+        self._process = ctx.Process(target=_shard_main,
+                                    args=(child_conn, self.config),
+                                    daemon=True,
+                                    name=f"pels-shard-{self.shard_id}")
+        self._process.start()
+        child_conn.close()
+        kind, port = self._request(None, expect="ready",
+                                   timeout=self.start_timeout)
+        self._port = port
+        return self
+
+    def stop(self, timeout: float = 10.0) -> Optional[ShardStats]:
+        """Stop the child; returns its final stats (None if it died)."""
+        if self._process is None:
+            return None
+        stats: Optional[ShardStats] = None
+        try:
+            _, stats = self._request(("stop",), expect="stopped",
+                                     timeout=timeout)
+        except (RuntimeError, BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)
+        self._conn.close()
+        self._process = None
+        return stats
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    # -- control verbs -----------------------------------------------------
+
+    def install_route(self, flow_id: int, addr: Tuple[str, int]) -> None:
+        self._conn.send(("route", flow_id, addr))
+
+    def remove_route(self, flow_id: int) -> None:
+        self._conn.send(("unroute", flow_id))
+
+    def set_default_route(self, addr: Tuple[str, int]) -> None:
+        self._conn.send(("default", addr))
+
+    def stats(self, timeout: float = 10.0) -> ShardStats:
+        _, stats = self._request(("stats",), expect="stats",
+                                 timeout=timeout)
+        return stats
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, message, expect: str, timeout: float):
+        if message is not None:
+            self._conn.send(message)
+        if not self._conn.poll(timeout):
+            raise RuntimeError(
+                f"shard {self.shard_id}: no {expect!r} reply in "
+                f"{timeout:.1f}s (child alive: {self.alive})")
+        reply = self._conn.recv()
+        if reply[0] != expect:
+            raise RuntimeError(
+                f"shard {self.shard_id}: expected {expect!r}, "
+                f"got {reply[0]!r}")
+        return reply

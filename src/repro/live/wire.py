@@ -40,7 +40,8 @@ from ..sim.packet import Color, FeedbackLabel
 
 __all__ = ["HEADER", "HEADER_SIZE", "LABEL", "LABEL_OFFSET", "MAGIC",
            "VERSION", "LivePacket", "WireFormatError", "encode_packet",
-           "decode_packet", "stamp_label", "peek_color", "peek_label"]
+           "decode_packet", "stamp_label", "peek_color", "peek_label",
+           "peek_flow_id", "peek_ptype", "peek_is_valid"]
 
 MAGIC = 0x5E15
 VERSION = 1
@@ -54,6 +55,15 @@ LABEL = struct.Struct("!IId")
 LABEL_OFFSET = 24
 
 _COLOR_OFFSET = 20
+
+#: The flow-id word alone, for the router's per-datagram route lookup:
+#: a 4-byte peek instead of unpacking the full 48-byte header.
+_FLOW_ID = struct.Struct("!I")
+FLOW_ID_OFFSET = 4
+
+#: (magic, version, ptype) prefix, for cheap validity checks on paths
+#: that do not need the rest of the header.
+_PREFIX = struct.Struct("!HBB")
 
 PTYPE_DATA = 0
 PTYPE_ACK = 1
@@ -141,6 +151,30 @@ def decode_packet(data: bytes) -> LivePacket:
 def peek_color(data: bytes) -> int:
     """The raw color byte, without a full decode (router fast path)."""
     return data[_COLOR_OFFSET]
+
+
+def peek_flow_id(data: bytes) -> int:
+    """The flow id, without a full decode (router route lookup)."""
+    return _FLOW_ID.unpack_from(data, FLOW_ID_OFFSET)[0]
+
+
+def peek_ptype(data: bytes) -> int:
+    """The raw packet-type byte (0 = data, 1 = ACK)."""
+    return data[3]
+
+
+def peek_is_valid(data: bytes) -> bool:
+    """Magic/version/length check without decoding the whole header.
+
+    The per-datagram gate of the shard ingest path: three comparisons
+    against the cached prefix ``Struct`` instead of the twelve-field
+    unpack (plus exception machinery) of :func:`decode_packet`.
+    """
+    if len(data) < HEADER_SIZE:
+        return False
+    magic, version, ptype = _PREFIX.unpack_from(data)
+    return magic == MAGIC and version == VERSION \
+        and ptype in (PTYPE_DATA, PTYPE_ACK)
 
 
 def peek_label(data: bytes) -> tuple:

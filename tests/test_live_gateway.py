@@ -1,0 +1,345 @@
+"""Gateway admission control, shard processes, and the load generator.
+
+The admission logic is pure (clock-injected token buckets, budget
+arithmetic, stable hashing), so the bulk of this file runs in tier 1
+against fake shard handles and a ManualClock.  The process-spawning
+paths — a real :class:`RouterShard` child and a small
+:func:`run_load` session — are opt-in wall-clock tests behind the
+``live`` marker, like the rest of the socket suite.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.live.gateway import (LiveGateway, TenantPolicy, TokenBucket,
+                                shard_index)
+from repro.live.loadgen import LoadConfig, _percentile
+from repro.live.server import LiveServer, _PaceState
+from repro.live.shard import RouterShard, ShardConfig
+from repro.live.wire import LivePacket, decode_packet, encode_packet
+from repro.sim.packet import Color
+from repro.video.fgs import FgsConfig
+
+
+class FakeShard:
+    """Duck-typed stand-in for RouterShard in admission tests."""
+
+    def __init__(self, shard_id: int, capacity_bps: float = 100_000.0):
+        self.shard_id = shard_id
+        self.capacity_bps = capacity_bps
+        self.routes = {}
+
+    @property
+    def addr(self):
+        return ("127.0.0.1", 40_000 + self.shard_id)
+
+    def install_route(self, flow_id, addr):
+        self.routes[flow_id] = addr
+
+    def remove_route(self, flow_id):
+        self.routes.pop(flow_id, None)
+
+
+CLIENT = ("127.0.0.1", 5555)
+
+
+def make_gateway(n_shards=2, capacity_bps=100_000.0, reserve=10_000.0,
+                 clock=None, **policy_kwargs):
+    clock = clock or ManualClock()
+    shards = [FakeShard(i + 1, capacity_bps) for i in range(n_shards)]
+    policy = TenantPolicy(**policy_kwargs) if policy_kwargs else None
+    return LiveGateway(clock, shards, flow_reserve_bps=reserve,
+                       default_policy=policy), shards, clock
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited_then_refilled(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=0.0)
+        assert all(bucket.try_take(0.0) for _ in range(3))
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.5)  # 0.5 s x 2/s = 1 token back
+        assert not bucket.try_take(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0, now=0.0)
+        assert bucket.try_take(1000.0)
+        assert bucket.try_take(1000.0)
+        assert not bucket.try_take(1000.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmission:
+    def test_admits_installs_route_and_returns_shard_addr(self):
+        gateway, shards, _ = make_gateway()
+        decision = gateway.register("acme", 0, CLIENT)
+        assert decision.admitted and decision.reason == "ok"
+        assert decision.flow_id == 0
+        shard = next(s for s in shards if s.shard_id == decision.shard_id)
+        assert decision.shard_addr == shard.addr
+        assert shard.routes[0] == CLIENT
+        assert gateway.admitted == 1
+
+    def test_flow_ids_are_globally_unique(self):
+        gateway, _, _ = make_gateway()
+        ids = [gateway.register("t", key, CLIENT).flow_id
+               for key in range(10)]
+        assert ids == list(range(10))
+
+    def test_registration_rate_limit_recovers_with_time(self):
+        gateway, _, clock = make_gateway(
+            registration_rate=1.0, registration_burst=2.0, max_flows=100)
+        assert gateway.register("t", 0, CLIENT).admitted
+        assert gateway.register("t", 1, CLIENT).admitted
+        rejected = gateway.register("t", 2, CLIENT)
+        assert not rejected.admitted and rejected.reason == "rate_limited"
+        assert rejected.flow_id is None
+        clock.advance(1.0)
+        assert gateway.register("t", 2, CLIENT).admitted
+        assert gateway.rejected["rate_limited"] == 1
+
+    def test_rate_limit_is_per_tenant(self):
+        gateway, _, _ = make_gateway(
+            registration_rate=1.0, registration_burst=1.0, max_flows=100)
+        assert gateway.register("a", 0, CLIENT).admitted
+        assert not gateway.register("a", 1, CLIENT).admitted
+        assert gateway.register("b", 0, CLIENT).admitted  # own bucket
+
+    def test_tenant_concurrency_cap_and_release(self):
+        gateway, _, _ = make_gateway(max_flows=2,
+                                     registration_rate=1000.0,
+                                     registration_burst=1000.0)
+        first = gateway.register("t", 0, CLIENT)
+        gateway.register("t", 1, CLIENT)
+        full = gateway.register("t", 2, CLIENT)
+        assert not full.admitted and full.reason == "tenant_full"
+        assert gateway.deregister(first.flow_id)
+        assert gateway.register("t", 2, CLIENT).admitted
+
+    def test_shard_capacity_budget_and_release(self):
+        # One shard, capacity for exactly two reservations.
+        gateway, shards, _ = make_gateway(n_shards=1,
+                                          capacity_bps=20_000.0,
+                                          reserve=10_000.0)
+        a = gateway.register("t", 0, CLIENT)
+        gateway.register("t", 1, CLIENT)
+        full = gateway.register("t", 2, CLIENT)
+        assert not full.admitted and full.reason == "shard_full"
+        gateway.deregister(a.flow_id)
+        assert a.flow_id not in shards[0].routes  # route removed
+        assert gateway.register("t", 2, CLIENT).admitted
+
+    def test_deregister_unknown_flow_is_false_not_raise(self):
+        gateway, _, _ = make_gateway()
+        assert gateway.deregister(999) is False
+
+    def test_placement_is_stable_and_tenant_qualified(self):
+        assert shard_index("t", 5, 4) == shard_index("t", 5, 4)
+        gateway, _, _ = make_gateway(n_shards=4)
+        first = gateway.register("t", 5, CLIENT)
+        gateway.deregister(first.flow_id)
+        again = gateway.register("t", 5, CLIENT)
+        assert again.shard_id == first.shard_id
+
+    def test_population_spreads_across_shards(self):
+        gateway, _, _ = make_gateway(n_shards=4, capacity_bps=1e9)
+        for key in range(200):
+            gateway.register(f"tenant-{key % 4}", key, CLIENT)
+        population = gateway.shard_population()
+        assert sum(population.values()) == 200
+        assert min(population.values()) > 0
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            LiveGateway(ManualClock(), [])
+
+
+class TestLoadConfig:
+    def test_capacity_scales_with_expected_population(self):
+        config = LoadConfig(flows=200, shards=4, flow_share_bps=10_000.0,
+                            capacity_headroom=1.25)
+        assert config.shard_capacity_bps() == pytest.approx(
+            10_000.0 * 50 * 1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(flows=0)
+        with pytest.raises(ValueError):
+            LoadConfig(flows=4, churn_flows=4)
+        with pytest.raises(ValueError):
+            LoadConfig(warmup_fraction=1.0)
+
+    def test_shard_config_rejects_zero_id(self):
+        with pytest.raises(ValueError):
+            ShardConfig(shard_id=0)
+
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile([], 0.5) != _percentile([], 0.5)  # NaN
+
+
+class TestGroupedPacing:
+    """The tenant-grouped pacer under a ManualClock (no tasks)."""
+
+    def make_server(self, flow_ids=(0, 1), clock=None):
+        clock = clock or ManualClock()
+        fgs = FgsConfig(packet_size=100, frame_packets=8, green_packets=2,
+                        frame_interval=0.5)
+        server = LiveServer(
+            clock, 0, fgs=fgs,
+            controller_kwargs={"initial_rate_bps": 16_000.0,
+                               "min_rate_bps": 1_000.0},
+            flow_ids=list(flow_ids),
+            flow_tenants={fid: f"t{fid % 2}" for fid in flow_ids},
+            grouped_pacing=True, seed=1)
+        return server, clock
+
+    def test_frames_begin_after_phase_and_packets_flow(self):
+        server, clock = self.make_server(flow_ids=(0,))
+        flow = server.flows[0]
+        state = _PaceState(flow, start_at=0.0)
+        interval = server.fgs.frame_interval
+        server._advance_flow(state, 0.0, interval)
+        assert flow.frames_sent == 1
+        assert flow.packets_sent >= 1  # first packet's worth of credit
+        before = flow.packets_sent
+        server._advance_flow(state, 0.1, interval)  # 16 kb/s x 0.1 s
+        assert flow.packets_sent > before
+
+    def test_frame_boundary_truncates_and_logs_counts(self):
+        server, clock = self.make_server(flow_ids=(0,))
+        flow = server.flows[0]
+        state = _PaceState(flow, start_at=0.0)
+        interval = server.fgs.frame_interval
+        server._advance_flow(state, 0.0, interval)
+        server._advance_flow(state, interval + 0.01, interval)
+        assert flow.frames_sent == 2
+        assert 0 in flow.frame_log  # finished frame's emitted counts
+        green, yellow, red = flow.frame_log[0]
+        assert green + yellow + red >= 1
+
+    def test_retired_flow_stops_emitting(self):
+        server, clock = self.make_server(flow_ids=(0,))
+        flow = server.flows[0]
+        state = _PaceState(flow, start_at=0.0)
+        server._advance_flow(state, 0.0, server.fgs.frame_interval)
+        server.retire_flow(0)
+        assert not flow.active
+
+    def test_tenants_map_onto_flows(self):
+        server, _ = self.make_server(flow_ids=(3, 4, 5))
+        assert server.flows[3].tenant == "t1"
+        assert server.flows[4].tenant == "t0"
+
+    def test_flow_ids_override_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            LiveServer(ManualClock(), 0, flow_ids=[])
+
+
+class TestAckFastPath:
+    def test_ack_with_label_drives_controller(self):
+        clock = ManualClock()
+        server = LiveServer(clock, 1, controller_kwargs={
+            "initial_rate_bps": 50_000.0})
+        flow = server.flows[0]
+        before = flow.controller.rate_bps
+        ack = encode_packet(LivePacket(flow_id=0, seq=1, is_ack=True,
+                                       router_id=3, epoch=1, loss=0.5,
+                                       sent_at=0.0))
+        server.datagram_received(ack, ("127.0.0.1", 1))
+        assert flow.acks_received == 1
+        assert flow.controller.rate_bps != before
+        # Same epoch again: freshness filter discards it.
+        server.datagram_received(ack, ("127.0.0.1", 1))
+        assert flow.tracker.rejected == 1
+        assert len(flow.loss_series) == 1
+
+    def test_unlabeled_and_foreign_acks_are_ignored(self):
+        server = LiveServer(ManualClock(), 1)
+        unlabeled = encode_packet(LivePacket(flow_id=0, seq=1, is_ack=True,
+                                             sent_at=0.0))
+        server.datagram_received(unlabeled, ("127.0.0.1", 1))
+        foreign = encode_packet(LivePacket(flow_id=42, seq=1, is_ack=True,
+                                           router_id=1, epoch=1, loss=0.1,
+                                           sent_at=0.0))
+        server.datagram_received(foreign, ("127.0.0.1", 1))
+        data = encode_packet(LivePacket(flow_id=0, seq=1, sent_at=0.0))
+        server.datagram_received(data, ("127.0.0.1", 1))  # not an ACK
+        assert server.flows[0].acks_received == 1  # only the unlabeled one
+        assert len(server.flows[0].loss_series) == 0
+
+
+@pytest.mark.live
+class TestShardProcess:
+    def test_shard_routes_and_reports_stats(self):
+        shard = RouterShard(ShardConfig(
+            shard_id=1, bottleneck_bps=1_000_000.0,
+            feedback_interval=0.02))
+        receiver = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        receiver.bind(("127.0.0.1", 0))
+        receiver.settimeout(5.0)
+        sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            shard.start()
+            shard.install_route(7, receiver.getsockname())
+            time.sleep(0.05)  # let the route land over the pipe
+            packet = encode_packet(LivePacket(flow_id=7, seq=0,
+                                              color=Color.GREEN,
+                                              sent_at=0.0, size=200))
+            for _ in range(5):
+                sender.sendto(packet, shard.addr)
+            data, _ = receiver.recvfrom(65536)
+            forwarded = decode_packet(data)
+            assert forwarded.flow_id == 7
+            assert forwarded.router_id == 1  # label stamped by shard 1
+            stats = shard.stats()
+            assert stats.arrivals[Color.GREEN] == 5
+            assert stats.routes == 1
+            assert stats.cpu_seconds > 0
+        finally:
+            final = shard.stop()
+            sender.close()
+            receiver.close()
+        assert final is not None
+        assert final.forwarded[Color.GREEN] >= 1
+
+    def test_stop_is_idempotent(self):
+        shard = RouterShard(ShardConfig(shard_id=2))
+        shard.start()
+        assert shard.stop() is not None
+        assert shard.stop() is None
+
+
+@pytest.mark.live
+class TestLoadRun:
+    def test_small_load_run_admits_and_delivers(self):
+        from repro.live.loadgen import run_load
+        result = run_load(LoadConfig(flows=8, shards=2, duration=2.0,
+                                     seed=3))
+        assert result.admitted == 8
+        assert result.rejected == {}
+        assert result.flows_per_sec > 100
+        assert result.aggregate_goodput_bps > 0
+        assert result.green_drops == 0
+        assert result.delays["green"]["count"] > 0
+        assert len(result.per_shard) == 2
+        assert all(s.cpu_seconds > 0 for s in result.per_shard)
+
+    def test_churned_flows_yield_partial_results_not_errors(self):
+        from repro.live.loadgen import run_load
+        result = run_load(LoadConfig(flows=6, shards=1, duration=2.0,
+                                     churn_flows=2, seed=3))
+        assert result.churned == 2
+        assert result.admitted == 6
+        assert result.aggregate_goodput_bps > 0

@@ -14,8 +14,8 @@ import pytest
 
 from repro.experiments import runner
 from repro.experiments.common import ExperimentResult
-from repro.experiments.runner import (_run_isolated, _run_one, failed,
-                                      main, run_all)
+from repro.experiments.runner import (_run_isolated, _run_one,
+                                      _sweep_budget, failed, main, run_all)
 
 
 def _ok_run(fast=False):
@@ -146,6 +146,56 @@ class TestIsolation:
         by_id = {r.experiment_id: r for r in results}
         assert not failed(by_id["OK"])
         assert failed(by_id["HANG"])
+
+
+def _sweepy_run(fast=False, jobs=1, chunk=None):
+    """Records the jobs/chunk budget the runner handed it."""
+    result = ExperimentResult("SWEEPY", "sweep")
+    result.metrics["jobs"] = float(jobs)
+    result.metrics["chunk"] = float(chunk if chunk is not None else -1)
+    return result
+
+
+class TestSweepBudgetForwarding:
+    """--jobs/--chunk must reach sweep experiments on every branch."""
+
+    def test_budget_math(self):
+        assert _sweep_budget(1, 5) == 1  # serial: no pool to split
+        assert _sweep_budget(8, 2) == 4
+        assert _sweep_budget(16, 4) == 4
+        # The pool is as wide as the experiment list (or narrower):
+        # sweeps still get a floor of 2 workers, never 0 or 1.
+        assert _sweep_budget(4, 4) == 2
+        assert _sweep_budget(2, 8) == 2
+
+    def test_serial_single_selection_forwards_full_budget(self,
+                                                          monkeypatch):
+        _registry_with(monkeypatch, SWEEPY=_sweepy_run)
+        result = run_all(only="SWEEPY", jobs=4, chunk=3)[0]
+        assert result.metrics["jobs"] == 4.0
+        assert result.metrics["chunk"] == 3.0
+
+    def test_parallel_pool_forwards_sweep_budget(self, monkeypatch):
+        _registry_with(monkeypatch, SWEEPY=_sweepy_run)
+        results = run_all(only="OK,SWEEPY", jobs=4, chunk=2)
+        by_id = {r.experiment_id: r for r in results}
+        assert by_id["SWEEPY"].metrics["jobs"] == _sweep_budget(4, 2)
+        assert by_id["SWEEPY"].metrics["chunk"] == 2.0
+        # OK's run() takes neither kwarg; _sweep_kwargs filters them.
+        assert not failed(by_id["OK"])
+
+    def test_timeout_isolation_forwards_sweep_budget(self, monkeypatch):
+        _registry_with(monkeypatch, SWEEPY=_sweepy_run)
+        results = run_all(only="OK,SWEEPY", jobs=4, chunk=2, timeout=30.0)
+        by_id = {r.experiment_id: r for r in results}
+        assert by_id["SWEEPY"].metrics["jobs"] == _sweep_budget(4, 2)
+        assert by_id["SWEEPY"].metrics["chunk"] == 2.0
+
+    def test_serial_default_budget_stays_one(self, monkeypatch):
+        _registry_with(monkeypatch, SWEEPY=_sweepy_run)
+        result = run_all(only="OK,SWEEPY")[1]
+        assert result.metrics["jobs"] == 1.0
+        assert result.metrics["chunk"] == -1.0
 
 
 class TestCheckpointResume:
