@@ -121,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="MKC multiplicative gain")
     gwy.add_argument("--churn", type=int, default=0,
                      help="flows torn down at half-run (teardown path)")
+    gwy.add_argument("--supervise", action="store_true",
+                     help="run a ShardSupervisor over the pool (health "
+                          "checks, failover with flow re-homing, layered "
+                          "overload shedding)")
+    gwy.add_argument("--chaos", default="", choices=["", "kill", "stall"],
+                     help="inject a live fault mid-run: SIGKILL or "
+                          "SIGSTOP the busiest shard (implies the "
+                          "sender-side blind-mode watchdog)")
+    gwy.add_argument("--chaos-at", type=float, default=None, metavar="S",
+                     help="fault fire time in run seconds (default: "
+                          "45%% of --duration)")
     gwy.add_argument("--seed", type=int, default=None,
                      help="seed for the run's RNG-driven schedules")
     gwy.add_argument("--json", default="", help="write summary JSON here")
@@ -264,12 +275,36 @@ def _cmd_live(args) -> int:
 def _cmd_gateway(args) -> int:
     from .live.loadgen import LoadConfig, run_load
 
+    chaos_kind = args.chaos
+    supervise = args.supervise or bool(chaos_kind)
     config = LoadConfig(flows=args.flows, shards=args.shards,
                         duration=args.duration, tenants=args.tenants,
                         flow_share_bps=args.flow_share,
                         alpha_bps=args.alpha, beta=args.beta,
-                        churn_flows=args.churn, seed=args.seed)
-    result = run_load(config)
+                        churn_flows=args.churn, seed=args.seed,
+                        supervise=supervise,
+                        feedback_timeout=0.4 if chaos_kind else 0.0,
+                        post_window=min(2.5, args.duration / 3)
+                        if chaos_kind else 0.0)
+
+    chaos = None
+    if chaos_kind:
+        from .faults import FaultSchedule, ShardKill, ShardStall
+
+        fire_at = args.chaos_at if args.chaos_at is not None \
+            else 0.45 * config.duration
+
+        def chaos(ctx):
+            population = {}
+            for decision in ctx.decisions:
+                population[decision.shard_slot] = \
+                    population.get(decision.shard_slot, 0) + 1
+            slot = max(population, key=lambda s: (population[s], -s))
+            fault = ShardKill(ctx.shards, slot) if chaos_kind == "kill" \
+                else ShardStall(ctx.shards, slot, duration=None)
+            return FaultSchedule().add(fire_at, fault)
+
+    result = run_load(config, chaos=chaos)
     print(f"Gateway load: {result.admitted}/{config.flows} flows admitted "
           f"across {config.shards} shard(s), "
           f"{result.elapsed:.1f}s wall clock")
@@ -296,6 +331,27 @@ def _cmd_gateway(args) -> int:
               f"({shard.goodput_vs_oracle*100:.1f}% of oracle), "
               f"fairness {shard.fairness:.2f}, "
               f"drops {shard.drops}")
+    for at, description in result.faults:
+        print(f"  fault               : {description} at t={at:.2f}s")
+    if result.supervisor is not None:
+        report = result.supervisor
+        print(f"  supervisor          : {report['ticks']} ticks, "
+              f"states {report['states']}, "
+              f"shed levels {report['shed_levels']}")
+        for record in report["failovers"]:
+            print(f"    failover slot {record['slot']}: "
+                  f"shard {record['old_shard_id']} -> "
+                  f"{record['new_shard_id']} ({record['cause']}), "
+                  f"{record['flows_rehomed']} flow(s) re-homed in "
+                  f"{record['latency']*1e3:.1f} ms")
+        if any(result.shed_packets):
+            print(f"    shed packets      : {result.shed_packets} "
+                  f"(green/yellow/red/BE)")
+        if result.post_window_seconds > 0:
+            print(f"    post-recovery     : "
+                  f"{result.post_goodput_bps/1e3:,.1f} kb/s over the "
+                  f"last {result.post_window_seconds:.1f}s "
+                  f"({result.post_goodput_vs_oracle*100:.1f}% of oracle)")
     if args.json:
         payload = {
             "flows": config.flows,
@@ -318,6 +374,12 @@ def _cmd_gateway(args) -> int:
                 "fairness": s.fairness, "drops": s.drops,
                 "cpu_seconds": s.cpu_seconds,
             } for s in result.per_shard],
+            "supervisor": result.supervisor,
+            "faults": result.faults,
+            "shed_packets": result.shed_packets,
+            "shed_bytes": result.shed_bytes,
+            "post_window_seconds": result.post_window_seconds,
+            "post_goodput_bps": result.post_goodput_bps,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)

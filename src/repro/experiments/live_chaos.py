@@ -1,0 +1,233 @@
+"""L3 — chaos under load: the supervised gateway survives a shard kill.
+
+L2 shows the sharded live stack holds the Lemma 6 operating point at
+800 flows; L3 breaks the stack mid-run and checks that it *heals*.
+Two runs share one configuration (same seed, same placement):
+
+**supervised** — a :class:`~repro.live.supervisor.ShardSupervisor`
+polls the pool.  The fault schedule SIGKILLs the most-populated shard
+slot mid-run; the supervisor must detect the crash, spawn a
+replacement under a fresh ``router_id``, re-home every flow of the
+slot (bulk route re-install + sender re-target) and reopen admissions.
+Earlier in the run a short *shed probe* forces layered shedding on a
+second slot, proving the degradation order: red enhancement packets
+are shed, green base-layer packets never are.  Checks:
+
+* the kill produces exactly one failover, re-homing every flow placed
+  on the killed slot;
+* kill -> failover-complete latency is <= 2 wall seconds;
+* post-recovery goodput (the ``post_window`` tail, measured after the
+  failover settles) is >= 90% of the full per-shard Lemma 6 oracle —
+  the replacement carries its slot's share, it is not a zombie;
+* zero green packets shed and zero green drops anywhere, while the
+  shed probe demonstrably shed red traffic.
+
+**control** — identical run, kill included, supervisor off.  The
+killed slot's flows must be *stranded* (post-window delivered rate
+under 10% of their Lemma 6 share): the healing in the supervised run
+comes from the supervisor, not from some accidental recovery path.
+
+Senders ride the failover gap with the PR 3 blind-mode watchdog
+(``feedback_timeout``); resynchronization is the Section 5.2 rule —
+the first label from the replacement's fresh ``router_id`` is adopted
+immediately.  Like L1/L2 this is wall-clock: checks assert bands and
+invariants, not exact bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..faults import Callback, FaultSchedule, ShardKill
+from ..live.loadgen import ChaosContext, LoadConfig, LoadResult, run_load
+from ..live.supervisor import SupervisorConfig
+from .common import ExperimentResult, check
+
+__all__ = ["run", "POST_GOODPUT_FLOOR", "FAILOVER_DEADLINE",
+           "STRANDED_RATE_FRACTION"]
+
+#: Post-recovery goodput floor, as a fraction of the Lemma 6 oracle.
+POST_GOODPUT_FLOOR = 0.90
+
+#: Wall-clock bound on kill -> flows-re-homed (acceptance criterion).
+FAILOVER_DEADLINE = 2.0
+
+#: A control-run flow counts as stranded below this fraction of r*.
+STRANDED_RATE_FRACTION = 0.10
+
+SEED = 1717
+
+
+def _config(fast: bool, supervise: bool) -> LoadConfig:
+    if fast:
+        flows, shards, duration, warmup = 24, 3, 7.0, 0.3
+        post_window = 2.5
+    else:
+        flows, shards, duration, warmup = 800, 4, 14.0, 0.4
+        post_window = 4.0
+    return LoadConfig(
+        flows=flows, shards=shards, duration=duration,
+        warmup_fraction=warmup, seed=SEED,
+        supervise=supervise,
+        supervisor=SupervisorConfig() if supervise else None,
+        feedback_timeout=0.4,
+        post_window=post_window)
+
+
+def _chaos_builder(config: LoadConfig, picked: Dict[str, int],
+                   with_shed_probe: bool):
+    """Schedule: optional shed probe on one slot, then kill another.
+
+    Slot choice happens at install time from the actual admitted
+    placement (deterministic under the seed): the kill hits the most
+    populated slot, the probe the second-most — both choices land in
+    ``picked`` for the assertion phase.
+    """
+    kill_at = 0.45 * config.duration
+    warmup = config.duration * config.warmup_fraction
+
+    def build(ctx: ChaosContext) -> FaultSchedule:
+        population: Dict[int, int] = {}
+        for decision in ctx.decisions:
+            population[decision.shard_slot] = \
+                population.get(decision.shard_slot, 0) + 1
+        ranked = sorted(population, key=lambda s: (-population[s], s))
+        kill_slot = ranked[0]
+        picked["kill_slot"] = kill_slot
+        picked["kill_population"] = population[kill_slot]
+        schedule = FaultSchedule()
+        if with_shed_probe and ctx.supervisor is not None:
+            shed_slot = next((s for s in ranked[1:] if population[s]),
+                             kill_slot)
+            picked["shed_slot"] = shed_slot
+            supervisor = ctx.supervisor
+            schedule.add(warmup + 0.2, Callback(
+                lambda: supervisor.force_shed(shed_slot, 1),
+                label=f"force-shed:slot{shed_slot}:1"))
+            schedule.add(warmup + 0.9, Callback(
+                lambda: supervisor.force_shed(shed_slot, 0),
+                label=f"force-shed:slot{shed_slot}:0"))
+        schedule.add(kill_at, ShardKill(ctx.shards, kill_slot))
+        return schedule
+
+    return build
+
+
+def _kill_time(result: LoadResult) -> float:
+    for at, description in result.faults:
+        if description.startswith("shard-kill"):
+            return at
+    return float("nan")
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        "L3", "Chaos under load: shard kill, failover, layered shedding")
+
+    # -- supervised run ----------------------------------------------------
+    sup_config = _config(fast, supervise=True)
+    sup_picked: Dict[str, int] = {}
+    supervised = run_load(sup_config,
+                          chaos=_chaos_builder(sup_config, sup_picked,
+                                               with_shed_probe=True))
+    report = supervised.supervisor or {}
+    failovers: List[dict] = list(report.get("failovers", []))
+    kill_slot = sup_picked.get("kill_slot", -1)
+    kill_at = _kill_time(supervised)
+    slot_failovers = [f for f in failovers if f["slot"] == kill_slot]
+    failover: Optional[dict] = slot_failovers[0] if slot_failovers else None
+    kill_to_healed = (failover["completed_at"] - kill_at) \
+        if failover is not None else float("inf")
+    expected_rehomed = sum(1 for slot in supervised.flow_slots.values()
+                           if slot == kill_slot)
+
+    check(result, "sup_failovers", float(len(failovers)), 1.0, 0.0)
+    rehomed = float(failover["flows_rehomed"]) if failover else 0.0
+    check(result, "sup_flows_rehomed", rehomed, float(expected_rehomed),
+          0.0)
+    within_deadline = 1.0 if kill_to_healed <= FAILOVER_DEADLINE else 0.0
+    check(result, "sup_failover_within_2s", within_deadline, 1.0, 0.0)
+    post_ok = 1.0 \
+        if supervised.post_goodput_vs_oracle >= POST_GOODPUT_FLOOR else 0.0
+    check(result, "sup_post_goodput_ok", post_ok, 1.0, 0.0)
+    check(result, "sup_green_shed", float(supervised.shed_packets[0]),
+          0.0, 0.0)
+    check(result, "sup_green_drops", float(supervised.green_drops),
+          0.0, 0.0)
+    red_shed_seen = 1.0 if supervised.shed_packets[2] > 0 else 0.0
+    check(result, "sup_red_shed_probe", red_shed_seen, 1.0, 0.0)
+    admitted_ok = 1.0 \
+        if supervised.admitted >= 0.95 * sup_config.flows else 0.0
+    check(result, "sup_admitted_ok", admitted_ok, 1.0, 0.0)
+
+    # -- unsupervised control run ------------------------------------------
+    ctl_config = _config(fast, supervise=False)
+    ctl_picked: Dict[str, int] = {}
+    control = run_load(ctl_config,
+                       chaos=_chaos_builder(ctl_config, ctl_picked,
+                                            with_shed_probe=False))
+    ctl_slot = ctl_picked.get("kill_slot", -1)
+    ctl_shard = next((s for s in control.per_shard if s.slot == ctl_slot),
+                     None)
+    stranded_floor = STRANDED_RATE_FRACTION * \
+        (ctl_shard.lemma6_rate_bps if ctl_shard else float("inf"))
+    killed_flows = [flow_id
+                    for flow_id, slot in control.flow_slots.items()
+                    if slot == ctl_slot]
+    stranded = [flow_id for flow_id in killed_flows
+                if control.post_flow_goodput.get(flow_id, 0.0)
+                < stranded_floor]
+    all_stranded = 1.0 \
+        if killed_flows and len(stranded) == len(killed_flows) else 0.0
+    check(result, "ctl_killed_flows_stranded", all_stranded, 1.0, 0.0)
+
+    # -- report ------------------------------------------------------------
+    green = supervised.delays["green"]
+    result.add_table(
+        ["run", "flows", "shards", "kill slot", "rehomed",
+         "kill->healed s", "post vs oracle", "red shed", "green shed",
+         "green drops"],
+        [["supervised", supervised.admitted, sup_config.shards,
+          kill_slot, int(rehomed), kill_to_healed,
+          supervised.post_goodput_vs_oracle,
+          supervised.shed_packets[2], supervised.shed_packets[0],
+          supervised.green_drops],
+         ["control", control.admitted, ctl_config.shards, ctl_slot,
+          0, float("nan"), control.post_goodput_vs_oracle,
+          control.shed_packets[2], control.shed_packets[0],
+          control.green_drops]],
+        title=f"shard kill at 0.45x{sup_config.duration:.0f}s, "
+              f"seed {SEED}")
+
+    result.metrics["sup_kill_to_healed_s"] = kill_to_healed
+    if failover is not None:
+        result.metrics["sup_detect_latency_s"] = \
+            failover["detected_at"] - kill_at
+        result.metrics["sup_failover_latency_s"] = failover["latency"]
+        if failover["new_shard_id"] is not None:
+            result.metrics["sup_new_shard_id"] = \
+                float(failover["new_shard_id"])
+    result.metrics["sup_post_goodput_bps"] = supervised.post_goodput_bps
+    result.metrics["sup_post_vs_oracle"] = \
+        supervised.post_goodput_vs_oracle
+    result.metrics["sup_window_vs_oracle"] = supervised.goodput_vs_oracle
+    result.metrics["sup_red_shed_packets"] = \
+        float(supervised.shed_packets[2])
+    result.metrics["sup_yellow_shed_packets"] = \
+        float(supervised.shed_packets[1])
+    result.metrics["sup_green_p99_ms"] = green["p99_ms"]
+    result.metrics["ctl_post_vs_oracle"] = control.post_goodput_vs_oracle
+    result.metrics["ctl_stranded_flows"] = float(len(stranded))
+    result.metrics["ctl_killed_population"] = float(len(killed_flows))
+
+    result.note("failover: kill -> detect (pipe EOF / exitcode) -> "
+                "close slot -> spawn fresh router_id -> bulk re-route -> "
+                "re-target senders -> reopen; controllers resync on the "
+                "first label from the new router id (Section 5.2)")
+    result.note("shedding order under overload: red first, then yellow; "
+                "green base-layer packets are never shed (zero-tolerance "
+                "check, both runs)")
+    result.note("control run strands the killed slot's flows: datagrams "
+                "to a dead shard's port vanish silently, and no one "
+                "re-homes them")
+    return result

@@ -37,8 +37,8 @@ from pathlib import Path
 
 from . import (ablations, bursts_exp, capacity, chaos, closed_loop_be,
                deadlines, fec_comparison, fig2, fig5, fig7, fig8, fig9,
-               fig10, heterogeneous, live_exp, live_load, multihop,
-               rd_smoothing, scaling, table1)
+               fig10, heterogeneous, live_chaos, live_exp, live_load,
+               multihop, rd_smoothing, scaling, table1)
 from .common import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "run_all", "main"]
@@ -63,6 +63,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "R1": chaos.run,
     "L1": live_exp.run,
     "L2": live_load.run,
+    "L3": live_chaos.run,
 }
 
 _REGISTRY: Optional[Dict[str, Callable[..., ExperimentResult]]] = None

@@ -1,0 +1,233 @@
+"""Fault injection for the live (wall-clock) gateway stack.
+
+PR 3's :class:`~repro.faults.schedule.FaultSchedule` can torture the
+simulator; these injectors point the same deterministic machinery at
+real processes and sockets.  The bridge is
+:class:`AsyncFaultDriver` — ``FaultSchedule.install`` only needs a
+``sim``-shaped object (``now``, ``call_at``, ``call_later``, ``rng``,
+``tracer``), so the driver satisfies that protocol over an asyncio
+event loop and a :class:`~repro.core.clock.WallClock`: schedules built
+for the simulator install unchanged against wall time.
+
+The live taxonomy mirrors real operational failures:
+
+* :class:`ShardKill` — SIGKILL a shard process (host OOM, a segfault).
+  The supervisor must notice the exit and fail over.
+* :class:`ShardStall` — SIGSTOP the process for a while (GC-of-death,
+  a noisy neighbor stealing the core).  The process stays *alive*, so
+  only the heartbeat path can catch it; SIGCONT restores it unless the
+  supervisor SIGKILLed it first.
+* :class:`SocketBlackhole` — re-aim selected flows' datagrams at a
+  bound-but-never-read socket (a silent middlebox drop).  Senders keep
+  transmitting into the void; feedback starvation and blind mode are
+  the only defense.
+* :class:`RegistrationErrors` — make the next N gateway registrations
+  raise :class:`~repro.live.gateway.TransientRegistrationError`
+  (control-plane races), exercising the load generator's retry path.
+
+Every injector is idempotent about already-dead processes
+(``ProcessLookupError`` is swallowed): a fault firing after the
+supervisor already replaced the shard is a no-op, not a crash of the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+import socket
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.clock import Clock
+from ..obs.trace import current_tracer
+from .schedule import Fault
+
+__all__ = ["AsyncFaultDriver", "ShardKill", "ShardStall",
+           "SocketBlackhole", "RegistrationErrors"]
+
+
+class AsyncFaultDriver:
+    """A ``Simulator``-shaped shim that fires faults on an asyncio loop.
+
+    ``FaultSchedule.install`` and the injectors' ``apply`` only touch
+    ``sim.now`` / ``sim.call_at`` / ``sim.call_later`` / ``sim.rng`` /
+    ``sim.tracer``; this object provides those against wall time.
+    Schedule times are relative to the driver's clock origin (a
+    :class:`~repro.core.clock.WallClock` reads 0 at construction, so
+    "kill at t=6" means six wall seconds after the clock was built).
+    """
+
+    def __init__(self, clock: Clock,
+                 loop: Optional[asyncio.AbstractEventLoop] = None,
+                 seed: int = 0) -> None:
+        self.clock = clock
+        self._loop = loop
+        self.rng = random.Random(seed)
+        self.tracer = current_tracer()
+        self._handles: List[asyncio.TimerHandle] = []
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def _resolve_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    def call_at(self, at: float, fn, *args) -> None:
+        """Arm ``fn(*args)`` at clock time ``at`` (>= now)."""
+        self.call_later(max(at - self.clock.now, 0.0), fn, *args)
+
+    def call_later(self, delay: float, fn, *args) -> None:
+        handle = self._resolve_loop().call_later(max(delay, 0.0), fn, *args)
+        self._handles.append(handle)
+
+    def cancel(self) -> None:
+        """Cancel every pending fault (teardown path)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles = []
+
+
+def _kill(pid: Optional[int], sig: int) -> bool:
+    if pid is None:
+        return False
+    try:
+        os.kill(pid, sig)
+        return True
+    except ProcessLookupError:
+        return False
+
+
+class ShardKill(Fault):
+    """SIGKILL the shard process currently occupying a pool slot.
+
+    ``shards`` is the *live* list (``gateway.shards``), resolved at
+    fire time — if a failover already swapped the slot, the kill hits
+    whichever process holds it now, exactly as a real host fault would.
+    """
+
+    def __init__(self, shards: Sequence, index: int) -> None:
+        self.shards = shards
+        self.index = index
+
+    def apply(self, sim) -> None:
+        shard = self.shards[self.index]
+        _kill(getattr(shard, "pid", None), signal.SIGKILL)
+
+    def describe(self) -> str:
+        return f"shard-kill:slot{self.index}"
+
+
+class ShardStall(Fault):
+    """SIGSTOP a shard for ``duration`` seconds (then SIGCONT).
+
+    The process never exits, so crash detection stays silent — only
+    heartbeat silence gives it away.  The SIGCONT is skipped if the
+    process is gone by then (the supervisor SIGKILLs hung shards).
+    With ``duration=None`` the stall is permanent.
+    """
+
+    def __init__(self, shards: Sequence, index: int,
+                 duration: Optional[float] = 2.0) -> None:
+        if duration is not None and duration <= 0:
+            raise ValueError("stall duration must be positive")
+        self.shards = shards
+        self.index = index
+        self.duration = duration
+
+    def apply(self, sim) -> None:
+        shard = self.shards[self.index]
+        pid = getattr(shard, "pid", None)
+        if _kill(pid, signal.SIGSTOP) and self.duration is not None:
+            sim.call_later(self.duration, _kill, pid, signal.SIGCONT)
+
+    def describe(self) -> str:
+        span = "forever" if self.duration is None else f"{self.duration}s"
+        return f"shard-stall:slot{self.index}:{span}"
+
+
+class SocketBlackhole(Fault):
+    """Silently swallow selected flows' downstream traffic.
+
+    Re-aims each flow's shard-bound datagrams at a socket this fault
+    binds and never reads — from the sender's perspective the path
+    simply stops acknowledging (no ICMP, no error).  After
+    ``duration`` seconds the original destination is restored, but
+    only for flows still pointing at the hole: a flow the supervisor
+    re-homed mid-blackhole keeps its new (correct) destination.
+    """
+
+    def __init__(self, server, flow_ids: Sequence[int],
+                 duration: float = 2.0) -> None:
+        if duration <= 0:
+            raise ValueError("blackhole duration must be positive")
+        self.server = server
+        self.flow_ids = list(flow_ids)
+        self.duration = duration
+        self._hole: Optional[socket.socket] = None
+
+    def apply(self, sim) -> None:
+        self._hole = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._hole.bind(("127.0.0.1", 0))
+        hole_addr = self._hole.getsockname()
+        saved: List[Tuple[int, tuple]] = []
+        for flow_id in self.flow_ids:
+            flow = self.server.flows.get(flow_id)
+            if flow is None:
+                continue
+            saved.append((flow_id, flow.dst_addr))
+            self.server.retarget_flow(flow_id, hole_addr)
+        sim.call_later(self.duration, self._restore, hole_addr, saved)
+
+    def _restore(self, hole_addr, saved) -> None:
+        for flow_id, old_addr in saved:
+            flow = self.server.flows.get(flow_id)
+            if flow is not None and flow.dst_addr == tuple(hole_addr):
+                self.server.retarget_flow(flow_id, old_addr)
+        if self._hole is not None:
+            self._hole.close()
+            self._hole = None
+
+    def describe(self) -> str:
+        return f"socket-blackhole:{len(self.flow_ids)}flows:{self.duration}s"
+
+
+class RegistrationErrors(Fault):
+    """Fail the next ``failures`` gateway registrations transiently.
+
+    Monkey-wraps ``gateway.register`` to raise
+    :class:`~repro.live.gateway.TransientRegistrationError` until the
+    budget is spent, then restores the original method — the injected
+    window is exactly N calls wide, so retry tests are deterministic.
+    """
+
+    def __init__(self, gateway, failures: int = 1) -> None:
+        if failures < 1:
+            raise ValueError("need at least one injected failure")
+        self.gateway = gateway
+        self.failures = failures
+
+    def apply(self, sim) -> None:
+        from ..live.gateway import TransientRegistrationError
+
+        gateway = self.gateway
+        original = gateway.register
+        remaining = [self.failures]
+
+        def failing_register(*args, **kwargs):
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    gateway.register = original
+                raise TransientRegistrationError(
+                    "injected registration fault")
+            return original(*args, **kwargs)
+
+        gateway.register = failing_register
+
+    def describe(self) -> str:
+        return f"registration-errors:{self.failures}"

@@ -49,21 +49,28 @@ the same machinery to hundreds–thousands of concurrent flows:
   experiment: registers a flow population, streams it from one
   tenant-grouped server, and measures goodput / delay percentiles /
   CPU per flow against the Lemma 6 oracle.
+* :mod:`~repro.live.supervisor` — the self-healing layer (L3): shard
+  health checks over pipe heartbeats, crash/hang failover with flow
+  re-homing onto a fresh ``router_id``, and layered overload shedding
+  (red, then yellow — never green).
 """
 
 from .client import LiveClient
-from .gateway import AdmissionDecision, LiveGateway, TenantPolicy, TokenBucket
+from .gateway import (AdmissionDecision, LiveGateway, TenantPolicy,
+                      TokenBucket, TransientRegistrationError)
 from .loadgen import LoadConfig, LoadResult, run_load
 from .router import LiveRouter
 from .server import LiveServer
 from .session import (LiveConfig, LiveSessionResult, build_live_report,
                       run_live_session)
 from .shard import RouterShard, ShardConfig, ShardStats
+from .supervisor import FailoverRecord, ShardSupervisor, SupervisorConfig
 from .wire import (HEADER_SIZE, LivePacket, WireFormatError, decode_packet,
                    encode_packet)
 
 __all__ = [
     "AdmissionDecision",
+    "FailoverRecord",
     "HEADER_SIZE",
     "LiveClient",
     "LiveConfig",
@@ -77,8 +84,11 @@ __all__ = [
     "RouterShard",
     "ShardConfig",
     "ShardStats",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "TenantPolicy",
     "TokenBucket",
+    "TransientRegistrationError",
     "WireFormatError",
     "build_live_report",
     "decode_packet",

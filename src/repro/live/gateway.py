@@ -26,23 +26,45 @@ and the sender transmits straight to the shard's socket.
 The gateway itself is synchronous pure logic plus one pipe send per
 admission — hundreds of thousands of decisions per second; the L2
 experiment reports the measured flows/sec.
+
+Failure awareness (the supervisor's half of the contract): a shard
+*slot* can be administratively closed (:meth:`LiveGateway.close_shard`)
+— registrations that hash onto a closed slot are rejected with the
+closing reason (``shard_down`` while a replacement spawns,
+``shard_overloaded`` while shedding is active) instead of being
+silently installed onto a dead process.  A route-install that blows up
+on the control pipe closes the slot itself and converts into a
+``shard_down`` rejection, so a crash between supervisor polls costs
+one failed registration, not an exception up the client's stack.
+:meth:`LiveGateway.replace_shard` swaps a restarted shard handle into
+its slot and bulk re-installs every surviving flow's route — the
+re-homing step of failover.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 from zlib import crc32
 
 from ..core.clock import Clock
 
 __all__ = ["TokenBucket", "TenantPolicy", "AdmissionDecision",
-           "LiveGateway", "shard_index"]
+           "LiveGateway", "shard_index", "TransientRegistrationError"]
 
 #: Rejection reasons, in gate order.
 REASON_RATE_LIMITED = "rate_limited"
 REASON_TENANT_FULL = "tenant_full"
 REASON_SHARD_FULL = "shard_full"
+#: Supervisor-driven rejections (closed slots).
+REASON_SHARD_DOWN = "shard_down"
+REASON_SHARD_OVERLOADED = "shard_overloaded"
+
+
+class TransientRegistrationError(RuntimeError):
+    """A registration failure worth retrying (startup races, injected
+    control-plane faults).  The load generator's retry loop catches
+    exactly this plus OS-level pipe errors."""
 
 
 class TokenBucket:
@@ -89,6 +111,10 @@ class AdmissionDecision:
     shard_id: Optional[int] = None
     #: Where the admitted flow must send its data (the shard's socket).
     shard_addr: Optional[Tuple[str, int]] = None
+    #: Pool slot index the flow hashed onto (stable across failover —
+    #: the replacement shard occupies the same slot under a fresh
+    #: ``shard_id``).  None on pre-placement rejections.
+    shard_slot: Optional[int] = None
 
 
 @dataclass
@@ -136,7 +162,11 @@ class LiveGateway:
         self.admitted = 0
         self.rejected: Dict[str, int] = {REASON_RATE_LIMITED: 0,
                                          REASON_TENANT_FULL: 0,
-                                         REASON_SHARD_FULL: 0}
+                                         REASON_SHARD_FULL: 0,
+                                         REASON_SHARD_DOWN: 0,
+                                         REASON_SHARD_OVERLOADED: 0}
+        #: Closed slots: index -> rejection reason while closed.
+        self._closed: Dict[int, str] = {}
 
     def policy_for(self, tenant: str) -> TenantPolicy:
         return self.policies.get(tenant, self.default_policy)
@@ -163,14 +193,24 @@ class LiveGateway:
             return self._reject(REASON_TENANT_FULL, tenant, flow_key)
 
         index = shard_index(tenant, flow_key, len(self.shards))
+        closed_reason = self._closed.get(index)
+        if closed_reason is not None:
+            return self._reject(closed_reason, tenant, flow_key, index)
         shard = self.shards[index]
         if self._reserved_bps[index] + self.flow_reserve_bps \
                 > shard.capacity_bps:
-            return self._reject(REASON_SHARD_FULL, tenant, flow_key)
+            return self._reject(REASON_SHARD_FULL, tenant, flow_key, index)
 
         flow_id = self._next_flow_id
         self._next_flow_id += 1
-        shard.install_route(flow_id, client_addr)
+        try:
+            shard.install_route(flow_id, client_addr)
+        except (BrokenPipeError, OSError, RuntimeError):
+            # The shard died between supervisor polls.  Close the slot
+            # so further registrations fail fast with a structured
+            # reason; the supervisor reopens it after failover.
+            self.close_shard(index, REASON_SHARD_DOWN)
+            return self._reject(REASON_SHARD_DOWN, tenant, flow_key, index)
         self._reserved_bps[index] += self.flow_reserve_bps
         self._tenant_flows[tenant] = self._tenant_flows.get(tenant, 0) + 1
         self.flows[flow_id] = _FlowRecord(tenant, flow_key, index,
@@ -179,7 +219,7 @@ class LiveGateway:
         return AdmissionDecision(admitted=True, reason="ok", tenant=tenant,
                                  flow_key=flow_key, flow_id=flow_id,
                                  shard_id=shard.shard_id,
-                                 shard_addr=shard.addr)
+                                 shard_addr=shard.addr, shard_slot=index)
 
     def deregister(self, flow_id: int) -> bool:
         """Tear a flow down: release budgets, remove the shard route."""
@@ -188,14 +228,68 @@ class LiveGateway:
             return False
         self._reserved_bps[record.shard_index] -= self.flow_reserve_bps
         self._tenant_flows[record.tenant] -= 1
-        self.shards[record.shard_index].remove_route(flow_id)
+        try:
+            self.shards[record.shard_index].remove_route(flow_id)
+        except (BrokenPipeError, OSError, RuntimeError):
+            pass  # budget released either way; a dead shard has no routes
         return True
 
-    def _reject(self, reason: str, tenant: str,
-                flow_key: int) -> AdmissionDecision:
-        self.rejected[reason] += 1
+    def _reject(self, reason: str, tenant: str, flow_key: int,
+                shard_slot: Optional[int] = None) -> AdmissionDecision:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
         return AdmissionDecision(admitted=False, reason=reason,
-                                 tenant=tenant, flow_key=flow_key)
+                                 tenant=tenant, flow_key=flow_key,
+                                 shard_slot=shard_slot)
+
+    # -- supervisor contract -----------------------------------------------
+
+    def close_shard(self, index: int, reason: str) -> None:
+        """Close a slot: registrations hashing there reject with
+        ``reason`` until :meth:`open_shard`."""
+        if not 0 <= index < len(self.shards):
+            raise IndexError(f"no shard slot {index}")
+        self._closed[index] = reason
+
+    def open_shard(self, index: int) -> None:
+        self._closed.pop(index, None)
+
+    def shard_closed(self, index: int) -> Optional[str]:
+        """The closing reason of a slot, or None if it is open."""
+        return self._closed.get(index)
+
+    def index_of(self, shard_id: int) -> Optional[int]:
+        """Slot index currently holding ``shard_id`` (None if gone)."""
+        for index, shard in enumerate(self.shards):
+            if shard.shard_id == shard_id:
+                return index
+        return None
+
+    def flows_on(self, index: int) -> Dict[int, Tuple[str, int]]:
+        """flow_id -> client_addr of every live flow placed on a slot."""
+        return {flow_id: record.client_addr
+                for flow_id, record in self.flows.items()
+                if record.shard_index == index}
+
+    def replace_shard(self, index: int, shard) -> List[int]:
+        """Swap a (restarted) shard handle into a slot and re-home.
+
+        Re-installs every surviving flow's route on the replacement —
+        one bulk pipe message when the handle supports it — and returns
+        the re-homed flow ids.  Reservations carry over unchanged: the
+        flows still exist, only their carrier changed.
+        """
+        if not 0 <= index < len(self.shards):
+            raise IndexError(f"no shard slot {index}")
+        self.shards[index] = shard
+        routes = self.flows_on(index)
+        if routes:
+            install_bulk = getattr(shard, "install_routes", None)
+            if install_bulk is not None:
+                install_bulk(routes)
+            else:
+                for flow_id, addr in routes.items():
+                    shard.install_route(flow_id, addr)
+        return sorted(routes)
 
     # -- introspection -----------------------------------------------------
 

@@ -31,26 +31,52 @@ Everything here is driven by ``config.seed``: shard placement is a
 stable hash, flow ids are allocated in registration order, and the
 seed reaches the server's cross-traffic jitter RNG — a rerun with the
 same config exercises the identical admission and routing decisions.
+
+Self-healing mode (the L3 experiment): with ``config.supervise`` a
+:class:`~repro.live.supervisor.ShardSupervisor` polls the pool during
+the run — crashed/hung shards are replaced mid-stream, their flows
+re-homed and re-targeted; a ``chaos`` callback passed to
+:func:`run_load` builds a :class:`~repro.faults.FaultSchedule` of live
+injectors (ShardKill, ShardStall, ...) installed on an
+:class:`~repro.faults.AsyncFaultDriver` against the run clock (time 0
+= run start).  ``config.post_window`` carves a second measurement
+window out of the run's tail so post-recovery goodput is comparable
+against the oracle independently of the outage dip.  Shard processes
+are torn down on *every* exit path — exceptions and Ctrl-C included —
+and every replacement the supervisor spawns joins the same teardown
+list, so an aborted run leaves no orphan children or bound sockets.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+import random
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cc.mkc import mkc_stationary_rate
 from ..core.pels_queue import PelsQueueConfig
+from ..faults.live import AsyncFaultDriver
+from ..faults.schedule import FaultSchedule
 from ..video.fgs import FgsConfig
 from .client import LiveClient
-from .gateway import AdmissionDecision, LiveGateway, TenantPolicy
+from .gateway import (REASON_SHARD_DOWN, REASON_SHARD_OVERLOADED,
+                      AdmissionDecision, LiveGateway, TenantPolicy,
+                      TransientRegistrationError)
 from .server import LiveServer
 from .shard import RouterShard, ShardConfig, ShardStats, SOCKET_BUFFER_BYTES
+from .supervisor import ShardSupervisor, SupervisorConfig
 
-__all__ = ["LoadConfig", "ShardLoad", "LoadResult", "run_load"]
+__all__ = ["LoadConfig", "ShardLoad", "LoadResult", "ChaosContext",
+           "register_with_retry", "run_load"]
+
+#: Rejection reasons worth retrying: both clear once the supervisor
+#: finishes failing over / shedding.
+_RETRYABLE_REASONS = frozenset({REASON_SHARD_DOWN,
+                                REASON_SHARD_OVERLOADED})
 
 
 def _default_fgs() -> FgsConfig:
@@ -113,6 +139,23 @@ class LoadConfig:
     #: run — exercises the partial-report path; 0 disables churn.
     churn_flows: int = 0
 
+    #: Run a :class:`~repro.live.supervisor.ShardSupervisor` over the
+    #: pool (health checks, failover, shedding).
+    supervise: bool = False
+    supervisor: Optional[SupervisorConfig] = None
+    #: Sender-side blind-mode watchdog (seconds of feedback silence
+    #: before a conservative rate decay; 0 = off).  Enabled by the L3
+    #: experiment so flows ride out the failover gap.
+    feedback_timeout: float = 0.0
+    blind_backoff: float = 0.85
+    #: Registration retry policy (exponential backoff with seeded
+    #: jitter); retries transient errors and retryable rejections.
+    registration_retries: int = 4
+    registration_backoff: float = 0.05
+    #: Tail window (seconds before the run end) over which a second
+    #: "post-recovery" goodput measurement is taken; 0 disables it.
+    post_window: float = 0.0
+
     def __post_init__(self) -> None:
         if self.flows < 1 or self.shards < 1:
             raise ValueError("need at least one flow and one shard")
@@ -122,6 +165,12 @@ class LoadConfig:
             raise ValueError("warmup fraction must be in [0, 1)")
         if self.churn_flows >= self.flows:
             raise ValueError("churn must leave at least one flow running")
+        if self.registration_retries < 0 or self.registration_backoff < 0:
+            raise ValueError("registration retry policy cannot be negative")
+        if self.post_window < 0 or self.post_window >= self.duration:
+            if self.post_window != 0.0:
+                raise ValueError(
+                    "post window must sit inside the run duration")
 
     def shard_capacity_bps(self) -> float:
         """PELS capacity of one shard (C_s), headroom included."""
@@ -160,6 +209,12 @@ class ShardLoad:
     mean_virtual_loss: float
     cpu_seconds: float
     wall_seconds: float
+    #: Pool slot the shard occupies (stable across failover; the
+    #: ``shard_id`` changes when a replacement takes the slot over).
+    slot: int = -1
+    shed_packets: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    shed_bytes: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    shed_level: int = 0
 
     @property
     def goodput_vs_oracle(self) -> float:
@@ -186,6 +241,22 @@ class LoadResult:
     cpu_seconds: float
     per_shard: List[ShardLoad]
     churned: int = 0
+    #: Supervision summary (:meth:`ShardSupervisor.report`), or None
+    #: when the run was unsupervised.
+    supervisor: Optional[dict] = None
+    #: ``(time, description)`` log of every live fault that fired.
+    faults: List[Tuple[float, str]] = field(default_factory=list)
+    #: Post-recovery tail window (``config.post_window``): length,
+    #: aggregate goodput over it and per-flow delivered rates.
+    post_window_seconds: float = 0.0
+    post_goodput_bps: float = float("nan")
+    post_flow_goodput: Dict[int, float] = field(default_factory=dict)
+    #: flow_id -> pool slot of every admitted flow.
+    flow_slots: Dict[int, int] = field(default_factory=dict)
+    #: Shed counters summed across shards, indexed by raw color —
+    #: index 0 (green) staying at zero is the base-layer guarantee.
+    shed_packets: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    shed_bytes: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
 
     @property
     def goodput_vs_oracle(self) -> float:
@@ -193,9 +264,70 @@ class LoadResult:
             if self.oracle_goodput_bps else float("nan")
 
     @property
+    def post_goodput_vs_oracle(self) -> float:
+        return self.post_goodput_bps / self.oracle_goodput_bps \
+            if self.oracle_goodput_bps else float("nan")
+
+    @property
     def cpu_seconds_per_flow(self) -> float:
         return self.cpu_seconds / self.admitted if self.admitted \
             else float("nan")
+
+
+@dataclass
+class ChaosContext:
+    """What a ``chaos`` schedule builder gets to aim injectors at.
+
+    ``shards`` is the gateway's *live* slot list — injectors built
+    around it resolve slots at fire time, so a kill scheduled for slot
+    1 hits whatever process occupies slot 1 when it fires.
+    """
+
+    clock: object
+    gateway: LiveGateway
+    server: LiveServer
+    client: LiveClient
+    decisions: List[AdmissionDecision]
+    supervisor: Optional[ShardSupervisor] = None
+
+    @property
+    def shards(self) -> List:
+        return self.gateway.shards
+
+
+def register_with_retry(gateway: LiveGateway, tenant: str, flow_key: int,
+                        client_addr: Tuple[str, int], retries: int = 4,
+                        backoff: float = 0.05,
+                        rng: Optional[random.Random] = None,
+                        sleep: Callable[[float], None] = time.sleep
+                        ) -> AdmissionDecision:
+    """Register with exponential backoff + jitter on transient failures.
+
+    Retries :class:`~repro.live.gateway.TransientRegistrationError` /
+    ``OSError`` (control-pipe races) and the retryable rejection
+    reasons (``shard_down``, ``shard_overloaded`` — both clear once
+    the supervisor recovers the slot).  Deterministic under a seeded
+    ``rng``: attempt k sleeps ``backoff * 2^k * (0.5 + U[0,1))``.
+    Returns the last decision; exhausted transient *errors* surface as
+    a synthetic ``registration_error`` rejection rather than raising.
+    """
+    rng = rng or random.Random()
+    last: Optional[AdmissionDecision] = None
+    for attempt in range(retries + 1):
+        try:
+            last = gateway.register(tenant, flow_key, client_addr)
+        except (TransientRegistrationError, OSError):
+            last = None
+        else:
+            if last.admitted or last.reason not in _RETRYABLE_REASONS:
+                return last
+        if attempt < retries:
+            sleep(backoff * (2 ** attempt) * (0.5 + rng.random()))
+    if last is None:
+        last = AdmissionDecision(admitted=False,
+                                 reason="registration_error",
+                                 tenant=tenant, flow_key=flow_key)
+    return last
 
 
 def _percentile(samples: List[float], q: float) -> float:
@@ -219,8 +351,11 @@ def _endpoint_socket(host: str) -> socket.socket:
     return sock
 
 
-async def _drive(config: LoadConfig, shards: List[RouterShard]) -> dict:
-    """The in-loop phase: register, stream, measure, snapshot."""
+async def _drive(config: LoadConfig, shards: List[RouterShard],
+                 spawned: List[RouterShard],
+                 chaos: Optional[Callable[[ChaosContext],
+                                          FaultSchedule]]) -> dict:
+    """The in-loop phase: register, stream, (maybe) break, measure."""
     from ..core.clock import WallClock
 
     clock = WallClock()
@@ -231,72 +366,138 @@ async def _drive(config: LoadConfig, shards: List[RouterShard]) -> dict:
         lambda: client, sock=_endpoint_socket(config.host))
     client_addr = client_transport.get_extra_info("sockname")[:2]
 
-    # Admission: per-flow reserve = the capacity share (headroom stays
-    # spare), tenants get an effectively-open policy — L2 measures the
-    # gateway's throughput, not its limits (tier-1 tests cover those).
-    gateway = LiveGateway(
-        clock, shards, flow_reserve_bps=config.flow_share_bps,
-        default_policy=TenantPolicy(
-            max_flows=config.flows,
-            registration_rate=1_000_000.0, registration_burst=config.flows))
-    decisions: List[AdmissionDecision] = []
-    reg_started = time.perf_counter()
-    for flow_key in range(config.flows):
-        decisions.append(gateway.register(config.tenant_of(flow_key),
-                                          flow_key, client_addr))
-    registration_seconds = time.perf_counter() - reg_started
-    admitted = [d for d in decisions if d.admitted]
-    if not admitted:
-        raise RuntimeError(
-            "gateway admitted no flows: reserve "
-            f"{config.flow_share_bps:.0f} bps/flow against shard capacity "
-            f"{config.shard_capacity_bps():.0f} bps")
-
-    server = LiveServer(
-        clock, 0,
-        controller_kwargs=config.controller_kwargs(),
-        fgs=config.fgs, cbr_rate_bps=0.0, pace_tick=config.pace_tick,
-        flow_ids=[d.flow_id for d in admitted],
-        flow_tenants={d.flow_id: d.tenant for d in admitted},
-        grouped_pacing=True, seed=config.seed)
-    for decision in admitted:
-        server.flows[decision.flow_id].dst_addr = decision.shard_addr
-    server_transport, _ = await loop.create_datagram_endpoint(
-        lambda: server, sock=_endpoint_socket(config.host))
-    client.server_addr = server_transport.get_extra_info("sockname")[:2]
-
-    flow_shard = {d.flow_id: d.shard_id for d in admitted}
-    churn_ids: List[int] = []
-    if config.churn_flows:
-        stride = max(1, len(admitted) // config.churn_flows)
-        churn_ids = [d.flow_id
-                     for d in admitted[::stride][:config.churn_flows]]
-
-    server.start()
+    server_transport = None
+    supervisor: Optional[ShardSupervisor] = None
+    driver: Optional[AsyncFaultDriver] = None
+    fault_schedule: Optional[FaultSchedule] = None
+    server: Optional[LiveServer] = None
     try:
+        # Admission: per-flow reserve = the capacity share (headroom
+        # stays spare), tenants get an effectively-open policy — load
+        # runs measure the gateway's throughput, not its limits
+        # (tier-1 tests cover those).
+        gateway = LiveGateway(
+            clock, shards, flow_reserve_bps=config.flow_share_bps,
+            default_policy=TenantPolicy(
+                max_flows=config.flows,
+                registration_rate=1_000_000.0,
+                registration_burst=config.flows))
+        reg_rng = random.Random(config.seed)
+        decisions: List[AdmissionDecision] = []
+        reg_started = time.perf_counter()
+        for flow_key in range(config.flows):
+            decisions.append(register_with_retry(
+                gateway, config.tenant_of(flow_key), flow_key, client_addr,
+                retries=config.registration_retries,
+                backoff=config.registration_backoff, rng=reg_rng))
+        registration_seconds = time.perf_counter() - reg_started
+        admitted = [d for d in decisions if d.admitted]
+        if not admitted:
+            raise RuntimeError(
+                "gateway admitted no flows: reserve "
+                f"{config.flow_share_bps:.0f} bps/flow against shard "
+                f"capacity {config.shard_capacity_bps():.0f} bps")
+
+        server = LiveServer(
+            clock, 0,
+            controller_kwargs=config.controller_kwargs(),
+            fgs=config.fgs, cbr_rate_bps=0.0, pace_tick=config.pace_tick,
+            flow_ids=[d.flow_id for d in admitted],
+            flow_tenants={d.flow_id: d.tenant for d in admitted},
+            grouped_pacing=True, seed=config.seed,
+            feedback_timeout=config.feedback_timeout,
+            blind_backoff=config.blind_backoff)
+        for decision in admitted:
+            server.flows[decision.flow_id].dst_addr = decision.shard_addr
+        server_transport, _ = await loop.create_datagram_endpoint(
+            lambda: server, sock=_endpoint_socket(config.host))
+        client.server_addr = server_transport.get_extra_info("sockname")[:2]
+
+        flow_slot = {d.flow_id: d.shard_slot for d in admitted}
+        churn_ids: List[int] = []
+        if config.churn_flows:
+            stride = max(1, len(admitted) // config.churn_flows)
+            churn_ids = [d.flow_id
+                         for d in admitted[::stride][:config.churn_flows]]
+
+        if config.supervise:
+            supervisor = ShardSupervisor(
+                clock, gateway,
+                config.supervisor or SupervisorConfig(),
+                retarget=server.retarget_flow, on_spawn=spawned.append)
+        if chaos is not None:
+            driver = AsyncFaultDriver(clock, loop,
+                                      seed=config.seed or 0)
+            fault_schedule = chaos(ChaosContext(
+                clock=clock, gateway=gateway, server=server, client=client,
+                decisions=admitted, supervisor=supervisor))
+
+        server.start()
+        if supervisor is not None:
+            supervisor.start()
+        if fault_schedule is not None:
+            fault_schedule.install(driver)
+
         warmup = config.duration * config.warmup_fraction
-        first_half = max(0.0, config.duration / 2 - warmup)
+        window_started = clock.now
+        post_started: Optional[float] = None
+        post_before: Dict[int, int] = {}
+        before: Dict[int, int] = {}
         await asyncio.sleep(warmup)
         window_started = clock.now
         before = {flow_id: receiver.bytes_received
                   for flow_id, receiver in client.flows.items()}
+        # Post-warmup timeline: churn at the run's midpoint, the
+        # post-recovery snapshot at duration - post_window; both are
+        # offsets from the warmup end, served in order.
+        rest = config.duration - warmup
+        marks: List[Tuple[float, str]] = []
         if churn_ids:
-            await asyncio.sleep(first_half)
-            for flow_id in churn_ids:
-                server.retire_flow(flow_id)
-                gateway.deregister(flow_id)
-            await asyncio.sleep(config.duration - warmup - first_half)
-        else:
-            await asyncio.sleep(config.duration - warmup)
+            marks.append((max(0.0, config.duration / 2 - warmup), "churn"))
+        if config.post_window > 0:
+            marks.append((max(0.0, rest - config.post_window), "post"))
+        marks.sort()
+        done = 0.0
+        for at, action in marks:
+            if at > done:
+                await asyncio.sleep(at - done)
+                done = at
+            if action == "churn":
+                for flow_id in churn_ids:
+                    server.retire_flow(flow_id)
+                    gateway.deregister(flow_id)
+            else:
+                post_started = clock.now
+                post_before = {
+                    flow_id: receiver.bytes_received
+                    for flow_id, receiver in client.flows.items()}
+        if rest > done:
+            await asyncio.sleep(rest - done)
         await server.stop()
+        stopped_at = clock.now
         await asyncio.sleep(config.drain)
     finally:
-        await server.stop()
-        elapsed = clock.now
-        window = elapsed - window_started
+        if server is not None:
+            await server.stop()
+        if supervisor is not None:
+            await supervisor.stop()
+        if driver is not None:
+            driver.cancel()
+        if server_transport is not None:
+            server_transport.close()
+        client_transport.close()
+    elapsed = clock.now
+    window = elapsed - window_started
 
     delivered = {flow_id: receiver.bytes_received - before.get(flow_id, 0)
                  for flow_id, receiver in client.flows.items()}
+    post_delivered: Dict[int, int] = {}
+    post_seconds = 0.0
+    if post_started is not None:
+        post_seconds = stopped_at - post_started
+        post_delivered = {
+            flow_id: receiver.bytes_received - post_before.get(flow_id, 0)
+            for flow_id, receiver in client.flows.items()}
     delays: Dict[str, Dict[str, float]] = {}
     for color in ("green", "yellow", "red"):
         samples: List[float] = []
@@ -314,22 +515,37 @@ async def _drive(config: LoadConfig, shards: List[RouterShard]) -> dict:
             "p99_ms": _percentile(samples, 0.99) * 1000,
         }
 
-    server_transport.close()
-    client_transport.close()
     return {
         "decisions": decisions,
         "registration_seconds": registration_seconds,
-        "flow_shard": flow_shard,
+        "flow_slot": flow_slot,
+        "final_shards": list(gateway.shards),
         "delivered": delivered,
         "delays": delays,
         "elapsed": elapsed,
         "window": window,
         "churned": len(churn_ids),
+        "supervisor": supervisor.report() if supervisor is not None
+        else None,
+        "faults": list(fault_schedule.applied)
+        if fault_schedule is not None else [],
+        "post_seconds": post_seconds,
+        "post_delivered": post_delivered,
     }
 
 
-def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
-    """Run one gateway load session to completion (blocking)."""
+def run_load(config: Optional[LoadConfig] = None,
+             chaos: Optional[Callable[[ChaosContext],
+                                      FaultSchedule]] = None) -> LoadResult:
+    """Run one gateway load session to completion (blocking).
+
+    ``chaos`` (optional) receives a :class:`ChaosContext` once the
+    stack is up and returns a :class:`~repro.faults.FaultSchedule` of
+    live injectors to install against the run clock.  Every shard
+    process — the initial pool and any replacement the supervisor
+    spawns — is stopped on every exit path, including exceptions and
+    ``KeyboardInterrupt``.
+    """
     config = config or LoadConfig()
     capacity = config.shard_capacity_bps()
     shards = [RouterShard(ShardConfig(
@@ -340,14 +556,20 @@ def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
         feedback_window=config.feedback_window,
         service_tick=config.service_tick, recv_batch=config.recv_batch))
         for index in range(config.shards)]
+    #: Every process ever spawned for this run (supervisor replacements
+    #: append themselves via on_spawn) — the teardown list.
+    spawned: List[RouterShard] = list(shards)
     stats: Dict[int, Optional[ShardStats]] = {}
     try:
         for shard in shards:
             shard.start()
-        measured = asyncio.run(_drive(config, shards))
+        measured = asyncio.run(_drive(config, shards, spawned, chaos))
     finally:
-        for shard in shards:
-            stats[shard.shard_id] = shard.stop()
+        for shard in spawned:
+            try:
+                stats[shard.shard_id] = shard.stop()
+            except Exception:
+                stats.setdefault(shard.shard_id, None)
 
     decisions: List[AdmissionDecision] = measured["decisions"]
     admitted = [d for d in decisions if d.admitted]
@@ -356,7 +578,8 @@ def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
         if not decision.admitted:
             rejected[decision.reason] = rejected.get(decision.reason, 0) + 1
 
-    flow_shard: Dict[int, int] = measured["flow_shard"]
+    flow_slot: Dict[int, int] = measured["flow_slot"]
+    final_shards: List[RouterShard] = measured["final_shards"]
     delivered: Dict[int, int] = measured["delivered"]
     window: float = measured["window"]
 
@@ -365,10 +588,12 @@ def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
     total_oracle = 0.0
     green_drops = 0
     cpu_total = 0.0
-    for shard in shards:
+    shed_packets_total = [0, 0, 0, 0]
+    shed_bytes_total = [0, 0, 0, 0]
+    for slot, shard in enumerate(final_shards):
         shard_stats = stats.get(shard.shard_id)
         flow_ids = [d.flow_id for d in admitted
-                    if flow_shard[d.flow_id] == shard.shard_id]
+                    if flow_slot[d.flow_id] == slot]
         rates = [delivered.get(flow_id, 0) * 8 / window
                  for flow_id in flow_ids] if window > 0 else []
         goodput = sum(rates)
@@ -381,6 +606,10 @@ def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
         fairness = (min(rates) / max(rates)
                     if rates and max(rates) > 0 else float("nan"))
         drops = shard_stats.drops if shard_stats else [0, 0, 0, 0]
+        shed_p = list(shard_stats.shed_packets) if shard_stats \
+            else [0, 0, 0, 0]
+        shed_b = list(shard_stats.shed_bytes) if shard_stats \
+            else [0, 0, 0, 0]
         per_shard.append(ShardLoad(
             shard_id=shard.shard_id, n_flows=n_flows,
             capacity_bps=shard.capacity_bps, lemma6_rate_bps=r_star,
@@ -395,11 +624,26 @@ def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
             mean_virtual_loss=shard_stats.mean_virtual_loss
             if shard_stats else float("nan"),
             cpu_seconds=shard_stats.cpu_seconds if shard_stats else 0.0,
-            wall_seconds=shard_stats.wall_seconds if shard_stats else 0.0))
+            wall_seconds=shard_stats.wall_seconds if shard_stats else 0.0,
+            slot=slot, shed_packets=shed_p, shed_bytes=shed_b,
+            shed_level=shard_stats.shed_level if shard_stats else 0))
         total_goodput += goodput
         total_oracle += oracle
         green_drops += drops[0]
         cpu_total += per_shard[-1].cpu_seconds
+        for color in range(4):
+            shed_packets_total[color] += shed_p[color]
+            shed_bytes_total[color] += shed_b[color]
+
+    post_seconds: float = measured["post_seconds"]
+    post_delivered: Dict[int, int] = measured["post_delivered"]
+    post_flow_goodput: Dict[int, float] = {}
+    post_goodput = float("nan")
+    if post_seconds > 0:
+        post_flow_goodput = {
+            flow_id: post_delivered.get(flow_id, 0) * 8 / post_seconds
+            for flow_id in (d.flow_id for d in admitted)}
+        post_goodput = sum(post_flow_goodput.values())
 
     registration_seconds = measured["registration_seconds"]
     return LoadResult(
@@ -417,4 +661,12 @@ def run_load(config: Optional[LoadConfig] = None) -> LoadResult:
         green_drops=green_drops,
         cpu_seconds=cpu_total,
         per_shard=per_shard,
-        churned=measured["churned"])
+        churned=measured["churned"],
+        supervisor=measured["supervisor"],
+        faults=measured["faults"],
+        post_window_seconds=post_seconds,
+        post_goodput_bps=post_goodput,
+        post_flow_goodput=post_flow_goodput,
+        flow_slots=dict(flow_slot),
+        shed_packets=shed_packets_total,
+        shed_bytes=shed_bytes_total)

@@ -34,6 +34,18 @@ sustain >=10k pkts/s; ``benchmarks/test_bench_live.py`` gates it):
   of datagrams instead of paying the loop overhead per packet;
 * the service loop's queue handles and counters are pre-bound locals —
   ``_drain`` is a straight-line byte-credit loop.
+
+Overload defense — **layered load shedding**: under supervisor command
+(:meth:`set_shed_level`) the router discards enhancement-layer traffic
+in-line at ingest, cheapest layer first — level 1 sheds red (the FGS
+probing band), level 2 sheds red *and* yellow — while green base-layer
+packets (and the Internet FIFO) are never shed at any level.  Shedding
+happens *after* the Eq. 11 arrival accounting, so the virtual loss
+keeps reporting the true offered load and the senders' control loops
+keep backing off while the shard recovers; shed traffic is counted
+separately from buffer-overflow drops (``shed_packets`` /
+``shed_bytes`` per color) so base-layer-protection assertions stay
+exact.
 """
 
 from __future__ import annotations
@@ -137,6 +149,12 @@ class LiveRouter(asyncio.DatagramProtocol):
         self.arrivals = [0, 0, 0, 0]
         self.drops = [0, 0, 0, 0]
         self.forwarded = [0, 0, 0, 0]
+        #: Layered shedding state: 0 = off, 1 = shed red, 2 = shed
+        #: red + yellow.  Green and best-effort are never shed.
+        self.shed_level = 0
+        self._shed = [False, False, False, False]
+        self.shed_packets = [0, 0, 0, 0]
+        self.shed_bytes = [0, 0, 0, 0]
         # Deficit WRR between the PELS aggregate and the Internet FIFO,
         # mirroring WeightedRoundRobinScheduler: each aggregate earns
         # quantum * weight per round and spends it in bytes.
@@ -219,6 +237,15 @@ class LiveRouter(asyncio.DatagramProtocol):
             # Eq. 11 counts PELS arrivals at the port, before any drop,
             # exactly as RouterFeedback.observe counts in the simulator.
             self._pels_bytes += len(data)
+        if self._shed[color]:
+            # Overload shedding: discard at ingest, after the offered-
+            # load accounting above (senders keep seeing honest virtual
+            # loss) but before the queue ever holds the bytes.
+            self.shed_packets[color] += 1
+            self.shed_bytes[color] += len(data)
+            if self._trace is not None:
+                self._trace.drop("live-router", "shed", color, -1)
+            return
         queue = self._queues[color]
         if len(queue) >= self._limits[color]:
             self.drops[color] += 1
@@ -387,10 +414,29 @@ class LiveRouter(asyncio.DatagramProtocol):
                 self._trace.epoch(now, label.router_id, label.epoch,
                                   self.feedback.rate_bps, label.loss)
 
+    # -- overload shedding -------------------------------------------------
+
+    def set_shed_level(self, level: int) -> None:
+        """Set layered shedding: 0 = off, 1 = red, 2 = red + yellow.
+
+        Green base-layer packets and the Internet FIFO are never shed
+        at any level — the whole point of the layered codec is that the
+        enhancement bands are the cheap thing to lose.
+        """
+        if not 0 <= level <= 2:
+            raise ValueError("shed level must be 0, 1 or 2")
+        self.shed_level = level
+        self._shed[int(Color.RED)] = level >= 1
+        self._shed[int(Color.YELLOW)] = level >= 2
+
     # -- introspection -----------------------------------------------------
 
     def queue_depth(self, color: Color) -> int:
         return len(self._queues[color])
+
+    def queue_depths(self) -> List[int]:
+        """Current occupancy of all four queues, indexed by raw color."""
+        return [len(queue) for queue in self._queues]
 
     def mean_virtual_loss(self, t_start: float = 0.0) -> float:
         return self.loss_series.mean(t_start, float("inf"))

@@ -91,6 +91,11 @@ class LiveFlow:
         #: Cleared by ``LiveServer.retire_flow``: a retired flow stops
         #: emitting (mid-run teardown) but keeps its state for reports.
         self.active = True
+        #: Clock time of the last *accepted* loss sample (None until
+        #: the first); drives the blind-mode starvation watchdog.
+        self.last_feedback: Optional[float] = None
+        #: How many times the watchdog applied a blind decay.
+        self.blind_intervals = 0
         self.next_seq = 0
         self.frame_id = -1
         self.packets_sent = 0
@@ -138,6 +143,15 @@ class LiveServer(asyncio.DatagramProtocol):
     its server around the admitted set.  ``flow_tenants`` names each
     flow's tenant; with ``grouped_pacing=True`` flows of one tenant
     share a single pacer task (see module docstring).
+
+    ``feedback_timeout`` (seconds, 0 = off) arms the blind-mode
+    watchdog from PR 3 on the live path: a flow whose feedback has
+    been silent that long — its shard died, a blackhole swallowed its
+    data — has its controller rate multiplied by ``blind_backoff``
+    once per timeout interval at frame boundaries, riding out the gap
+    conservatively until the first label from a replacement shard
+    resynchronizes it (the tracker adopts a fresh ``router_id``'s
+    epoch clock immediately).
     """
 
     def __init__(self, clock: Clock, n_flows: int,
@@ -150,7 +164,9 @@ class LiveServer(asyncio.DatagramProtocol):
                  flow_ids: Optional[Sequence[int]] = None,
                  flow_tenants: Optional[Dict[int, str]] = None,
                  grouped_pacing: bool = False,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 feedback_timeout: float = 0.0,
+                 blind_backoff: float = 0.85) -> None:
         if flow_ids is None:
             flow_ids = range(n_flows)
         else:
@@ -159,11 +175,17 @@ class LiveServer(asyncio.DatagramProtocol):
             raise ValueError("need at least one live flow")
         if pace_tick <= 0:
             raise ValueError("pace tick must be positive")
+        if feedback_timeout < 0:
+            raise ValueError("feedback timeout cannot be negative")
+        if not 0 < blind_backoff <= 1:
+            raise ValueError("blind backoff must be in (0, 1]")
         self.clock = clock
         self.fgs = fgs or FgsConfig(frame_packets=256)
         self.pace_tick = pace_tick
         self.cbr_rate_bps = cbr_rate_bps
         self.grouped_pacing = grouped_pacing
+        self.feedback_timeout = feedback_timeout
+        self.blind_backoff = blind_backoff
         self._rng = random.Random(seed)
         tenants = flow_tenants or {}
         self.flows: Dict[int, LiveFlow] = {}
@@ -207,6 +229,7 @@ class LiveServer(asyncio.DatagramProtocol):
         if loss is None:
             return
         now = self.clock.now
+        flow.last_feedback = now
         flow.controller.on_feedback(loss, now)
         flow.gamma_controller.update(loss)
         flow.loss_series.record(now, loss)
@@ -253,6 +276,7 @@ class LiveServer(asyncio.DatagramProtocol):
         while self._running and flow.active:
             frame_start = self.clock.now
             deadline = frame_start + interval
+            self._maybe_blind(flow, frame_start)
             rate = flow.controller.rate_bps
             gamma = flow.gamma_controller.gamma
             flow.frame_id += 1
@@ -324,12 +348,33 @@ class LiveServer(asyncio.DatagramProtocol):
                 if state.flow.active:
                     advance(state, now, interval)
 
+    def _maybe_blind(self, flow: LiveFlow, now: float) -> None:
+        """Frame-boundary feedback-starvation check (watchdog off when
+        ``feedback_timeout`` is 0).  Applies at most one decay per
+        timeout interval by advancing the starvation reference."""
+        timeout = self.feedback_timeout
+        if timeout <= 0:
+            return
+        if flow.last_feedback is None:
+            # No feedback yet at all: start the starvation clock at the
+            # first frame rather than decaying a flow that just joined.
+            flow.last_feedback = now
+            return
+        if now - flow.last_feedback >= timeout:
+            flow.controller.blind_decay(self.blind_backoff, now)
+            flow.blind_intervals += 1
+            flow.last_feedback = now
+            if self._trace is not None:
+                self._trace.rate(now, flow.flow_id, -1.0,
+                                 flow.controller.rate_bps)
+
     def _begin_frame(self, state: _PaceState, now: float,
                      interval: float) -> None:
         flow = state.flow
         if state.started:
             flow.frame_log[flow.frame_id] = tuple(state.counts)
         state.started = True
+        self._maybe_blind(flow, now)
         rate = flow.controller.rate_bps
         gamma = flow.gamma_controller.gamma
         flow.frame_id += 1
@@ -433,6 +478,20 @@ class LiveServer(asyncio.DatagramProtocol):
         flow = self.flows.get(flow_id)
         if flow is not None:
             flow.active = False
+
+    def retarget_flow(self, flow_id: int,
+                      addr: Tuple[str, int]) -> bool:
+        """Re-aim a flow's datagrams at a new address (failover path).
+
+        Takes effect on the next emitted packet; in-flight datagrams to
+        the old address are simply lost, which is the semantics of the
+        shard they were heading to being dead.
+        """
+        flow = self.flows.get(flow_id)
+        if flow is None:
+            return False
+        flow.dst_addr = tuple(addr)
+        return True
 
     def enhancement_sent_per_frame(self, flow_id: int) -> Dict[int, int]:
         """frame_id -> FGS (yellow + red) packets actually emitted."""

@@ -14,15 +14,27 @@ The split between the planes is strict:
   shard's UDP port, the shard forwards straight to the receiver address
   the gateway routed for that flow id;
 * **control** is a ``multiprocessing.Pipe`` carrying small tuples:
-  route installs/removals from the gateway, stats requests, stop.  The
-  child drains the pipe from a readiness callback on its event loop, so
-  control messages interleave with packet service without threads.
+  route installs/removals from the gateway, stats requests, heartbeat
+  pings, shed-level commands, stop.  The child drains the pipe from a
+  readiness callback on its event loop, so control messages interleave
+  with packet service without threads.
 
 :class:`RouterShard` is the parent-side handle (spawn, route, stats,
 stop); :func:`_shard_main` is the child entry point.  The fork start
 method is preferred when available — shard spawning is on the measured
 admission path and fork avoids the interpreter re-exec — falling back
 to the platform default otherwise.
+
+Supervision support: the handle carries both the synchronous request
+path (``stats()``/``stop()``, which block for their reply) and a
+fire-and-forget path (:meth:`ping`, :meth:`request_stats`,
+:meth:`set_shed_level`) whose replies are collected later by
+:meth:`poll_messages` — the supervisor's poll loop must never block on
+a shard that may be hung, that is the failure it exists to detect.
+Because both paths share one pipe, the synchronous
+:meth:`~RouterShard._request` skips-and-dispatches any asynchronous
+replies (stale pongs, stats snapshots) it drains while waiting for its
+own answer.
 """
 
 from __future__ import annotations
@@ -79,14 +91,29 @@ class ShardStats:
     #: shard's utilization.
     cpu_seconds: float
     wall_seconds: float
+    #: Instantaneous queue occupancy by raw color (packets), the red
+    #: queue's occupancy as a fraction of its buffer, and the layered
+    #: shedding counters/level (see ``LiveRouter.set_shed_level``).
+    #: Defaulted so snapshots pickled by older children still load.
+    depths: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    red_occupancy: float = 0.0
+    shed_packets: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    shed_bytes: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    shed_level: int = 0
 
     @property
     def total_forwarded(self) -> int:
         return sum(self.forwarded)
 
+    @property
+    def total_shed_bytes(self) -> int:
+        return sum(self.shed_bytes)
+
 
 def _snapshot(router, config: ShardConfig, port: int,
               started: float) -> ShardStats:
+    depths = router.queue_depths()
+    red_buffer = max(config.queue.red_buffer, 1)
     return ShardStats(
         shard_id=config.shard_id, port=port,
         arrivals=list(router.arrivals), drops=list(router.drops),
@@ -94,7 +121,12 @@ def _snapshot(router, config: ShardConfig, port: int,
         mean_virtual_loss=router.mean_virtual_loss(),
         routes=len(router.flow_routes),
         cpu_seconds=time.process_time(),
-        wall_seconds=time.monotonic() - started)
+        wall_seconds=time.monotonic() - started,
+        depths=depths,
+        red_occupancy=depths[2] / red_buffer,
+        shed_packets=list(router.shed_packets),
+        shed_bytes=list(router.shed_bytes),
+        shed_level=router.shed_level)
 
 
 async def _shard_serve(conn, config: ShardConfig) -> None:
@@ -133,11 +165,22 @@ async def _shard_serve(conn, config: ShardConfig) -> None:
                     router.flow_routes[message[1]] = message[2]
                 elif kind == "unroute":
                     router.flow_routes.pop(message[1], None)
+                elif kind == "routes":
+                    # Bulk install: one pipe message re-homes a whole
+                    # failed shard's worth of flows during failover.
+                    router.flow_routes.update(message[1])
                 elif kind == "default":
                     router.dst_addr = message[1]
                 elif kind == "stats":
                     conn.send(("stats",
                                _snapshot(router, config, port, started)))
+                elif kind == "ping":
+                    # Heartbeat: echo the supervisor's timestamp.  A
+                    # stalled loop (or SIGSTOP'd process) simply stops
+                    # answering, which is exactly the signal.
+                    conn.send(("pong", message[1]))
+                elif kind == "shed":
+                    router.set_shed_level(message[1])
                 elif kind == "stop":
                     stopping.set()
         except (EOFError, OSError):
@@ -186,6 +229,13 @@ class RouterShard:
         self._conn = None
         self._process: Optional[multiprocessing.process.BaseProcess] = None
         self._port: Optional[int] = None
+        #: Timestamp payload of the latest heartbeat reply (the value
+        #: the supervisor passed to :meth:`ping`), updated by
+        #: :meth:`poll_messages`.  ``None`` until the first pong.
+        self.last_pong: Optional[float] = None
+        #: Latest asynchronously collected stats snapshot (from
+        #: :meth:`request_stats` + :meth:`poll_messages`).
+        self.last_stats: Optional[ShardStats] = None
 
     # -- identity ----------------------------------------------------------
 
@@ -223,31 +273,71 @@ class RouterShard:
         return self
 
     def stop(self, timeout: float = 10.0) -> Optional[ShardStats]:
-        """Stop the child; returns its final stats (None if it died)."""
+        """Stop the child; returns its final stats (None if it died).
+
+        Escalates until the process is truly gone: polite stop request,
+        then SIGTERM, then SIGKILL.  The kill step matters for hung
+        children — a SIGSTOP'd process leaves SIGTERM pending forever,
+        but SIGKILL is not maskable.
+        """
         if self._process is None:
             return None
         stats: Optional[ShardStats] = None
         try:
             _, stats = self._request(("stop",), expect="stopped",
                                      timeout=timeout)
-        except (RuntimeError, BrokenPipeError, OSError):
+        except (RuntimeError, BrokenPipeError, EOFError, OSError):
             pass
         self._process.join(timeout)
         if self._process.is_alive():
             self._process.terminate()
+            self._process.join(min(timeout, 2.0))
+        if self._process.is_alive():
+            self._process.kill()
             self._process.join(timeout)
         self._conn.close()
         self._process = None
         return stats
 
+    def kill(self) -> None:
+        """SIGKILL the child and reap it (supervisor failover path).
+
+        Unlike :meth:`stop` this never talks to the pipe — the child is
+        presumed dead or unresponsive — and leaves the handle in the
+        stopped state immediately.
+        """
+        if self._process is None:
+            return
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(5.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self._process = None
+
     @property
     def alive(self) -> bool:
         return self._process is not None and self._process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        """The child's exit code (None while running or never started)."""
+        return None if self._process is None else self._process.exitcode
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self._process is None else self._process.pid
 
     # -- control verbs -----------------------------------------------------
 
     def install_route(self, flow_id: int, addr: Tuple[str, int]) -> None:
         self._conn.send(("route", flow_id, addr))
+
+    def install_routes(self, routes: dict) -> None:
+        """Bulk route install ({flow_id: addr}) in one pipe message."""
+        self._conn.send(("routes", dict(routes)))
 
     def remove_route(self, flow_id: int) -> None:
         self._conn.send(("unroute", flow_id))
@@ -260,18 +350,90 @@ class RouterShard:
                                  timeout=timeout)
         return stats
 
+    # -- supervision (non-blocking) ----------------------------------------
+
+    def ping(self, now: float) -> bool:
+        """Send a heartbeat; the pong lands via :meth:`poll_messages`."""
+        return self._send(("ping", now))
+
+    def request_stats(self) -> bool:
+        """Ask for stats without blocking; see :attr:`last_stats`."""
+        return self._send(("stats",))
+
+    def set_shed_level(self, level: int) -> bool:
+        """Command the child's router shed level (fire-and-forget)."""
+        if not 0 <= level <= 2:
+            raise ValueError("shed level must be 0, 1 or 2")
+        return self._send(("shed", level))
+
+    def poll_messages(self) -> int:
+        """Drain pending pipe replies without blocking; return count.
+
+        Dispatches pongs into :attr:`last_pong` and stats snapshots
+        into :attr:`last_stats`.  Errors (EOF, closed pipe, a dead
+        child) are swallowed — liveness is judged from
+        :attr:`exitcode` / pong age, not from pipe exceptions.
+        """
+        if self._conn is None or self._conn.closed:
+            return 0
+        drained = 0
+        try:
+            while self._conn.poll():
+                self._dispatch(self._conn.recv())
+                drained += 1
+        except (EOFError, BrokenPipeError, OSError):
+            pass
+        return drained
+
     # -- plumbing ----------------------------------------------------------
 
-    def _request(self, message, expect: str, timeout: float):
-        if message is not None:
+    def _dispatch(self, reply) -> None:
+        kind = reply[0]
+        if kind == "pong":
+            self.last_pong = reply[1]
+        elif kind == "stats":
+            self.last_stats = reply[1]
+        # Anything else ("ready" after a restart race, "stopped") is
+        # stale and dropped.
+
+    def _send(self, message) -> bool:
+        """Best-effort one-way send; False if the pipe is gone."""
+        if self._conn is None or self._conn.closed:
+            return False
+        try:
             self._conn.send(message)
-        if not self._conn.poll(timeout):
-            raise RuntimeError(
-                f"shard {self.shard_id}: no {expect!r} reply in "
-                f"{timeout:.1f}s (child alive: {self.alive})")
-        reply = self._conn.recv()
-        if reply[0] != expect:
-            raise RuntimeError(
-                f"shard {self.shard_id}: expected {expect!r}, "
-                f"got {reply[0]!r}")
-        return reply
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def _request(self, message, expect: str, timeout: float):
+        """Send + wait for a specific reply kind, with a deadline.
+
+        The pipe also carries asynchronous supervision replies (pongs,
+        stats snapshots from :meth:`request_stats`), so a mismatched
+        reply is dispatched and skipped rather than treated as a
+        protocol error; only silence past the deadline or EOF raise.
+        """
+        if message is not None:
+            try:
+                self._conn.send(message)
+            except (BrokenPipeError, OSError) as exc:
+                raise RuntimeError(
+                    f"shard {self.shard_id}: control pipe closed sending "
+                    f"{message[0]!r} (child alive: {self.alive})") from exc
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._conn.poll(max(remaining, 0.0)):
+                raise RuntimeError(
+                    f"shard {self.shard_id}: no {expect!r} reply in "
+                    f"{timeout:.1f}s (child alive: {self.alive})")
+            try:
+                reply = self._conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"shard {self.shard_id}: pipe EOF while waiting for "
+                    f"{expect!r} (child alive: {self.alive})")
+            if reply[0] == expect:
+                return reply
+            self._dispatch(reply)

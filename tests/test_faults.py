@@ -304,3 +304,152 @@ class TestFaultSchedule:
         schedule.install(sim)
         sim.run(until=3.0)
         assert fired == [1, 2]
+
+
+class TestAsyncFaultDriver:
+    """The wall-clock shim satisfies the installer's sim protocol."""
+
+    def run_loop(self, coro):
+        import asyncio
+        return asyncio.run(coro)
+
+    def test_schedule_installs_and_fires_on_an_event_loop(self):
+        import asyncio
+
+        from repro.core.clock import WallClock
+        from repro.faults import AsyncFaultDriver
+
+        async def scenario():
+            clock = WallClock()
+            driver = AsyncFaultDriver(clock, asyncio.get_running_loop(),
+                                      seed=3)
+            fired = []
+            schedule = (FaultSchedule()
+                        .add(0.01, Callback(lambda: fired.append("a"), "a"))
+                        .add(0.03, Callback(lambda: fired.append("b"), "b")))
+            schedule.install(driver)
+            await asyncio.sleep(0.1)
+            return fired, list(schedule.applied)
+
+        fired, applied = self.run_loop(scenario())
+        assert fired == ["a", "b"]
+        assert [label for _, label in applied] == ["a", "b"]
+
+    def test_cancel_disarms_pending_faults(self):
+        import asyncio
+
+        from repro.core.clock import WallClock
+        from repro.faults import AsyncFaultDriver
+
+        async def scenario():
+            clock = WallClock()
+            driver = AsyncFaultDriver(clock, asyncio.get_running_loop())
+            fired = []
+            FaultSchedule().add(
+                0.05, Callback(lambda: fired.append("late"), "late")) \
+                .install(driver)
+            driver.cancel()
+            await asyncio.sleep(0.1)
+            return fired
+
+        assert self.run_loop(scenario()) == []
+
+    def test_past_times_clamp_to_now_instead_of_raising(self):
+        import asyncio
+
+        from repro.core.clock import WallClock
+        from repro.faults import AsyncFaultDriver
+
+        async def scenario():
+            clock = WallClock()
+            await asyncio.sleep(0.02)
+            driver = AsyncFaultDriver(clock, asyncio.get_running_loop())
+            fired = []
+            driver.call_at(0.0, fired.append, "now")  # already past
+            await asyncio.sleep(0.02)
+            return fired
+
+        assert self.run_loop(scenario()) == ["now"]
+
+
+class FakeDriver:
+    """Captures call_later arms for injector tests (no loop, no time)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.later = []
+
+    def call_later(self, delay, fn, *args):
+        self.later.append((delay, fn, args))
+
+
+class TestSocketBlackhole:
+    class Server:
+        def __init__(self, flows):
+            self.flows = flows
+            self.retargets = []
+
+        def retarget_flow(self, flow_id, addr):
+            flow = self.flows.get(flow_id)
+            if flow is None:
+                return False
+            flow.dst_addr = tuple(addr)
+            self.retargets.append((flow_id, tuple(addr)))
+            return True
+
+    class Flow:
+        def __init__(self, addr):
+            self.dst_addr = addr
+
+    def test_swallows_then_restores_only_unmoved_flows(self):
+        from repro.faults import SocketBlackhole
+        original = ("127.0.0.1", 7001)
+        server = self.Server({1: self.Flow(original),
+                              2: self.Flow(original)})
+        hole = SocketBlackhole(server, [1, 2], duration=1.0)
+        driver = FakeDriver()
+        hole.apply(driver)
+        hole_addr = tuple(server.flows[1].dst_addr)
+        assert hole_addr != original
+        assert server.flows[2].dst_addr == hole_addr
+        # Mid-blackhole, a failover re-homes flow 2 elsewhere.
+        server.flows[2].dst_addr = ("127.0.0.1", 9999)
+        delay, fn, args = driver.later[0]
+        assert delay == 1.0
+        fn(*args)  # the scheduled restore
+        assert server.flows[1].dst_addr == original  # restored
+        assert server.flows[2].dst_addr == ("127.0.0.1", 9999)  # kept
+
+    def test_missing_flows_are_skipped(self):
+        from repro.faults import SocketBlackhole
+        server = self.Server({1: self.Flow(("127.0.0.1", 7001))})
+        hole = SocketBlackhole(server, [1, 42], duration=0.5)
+        driver = FakeDriver()
+        hole.apply(driver)
+        delay, fn, args = driver.later[0]
+        fn(*args)
+        assert server.flows[1].dst_addr == ("127.0.0.1", 7001)
+
+    def test_rejects_nonpositive_duration(self):
+        from repro.faults import SocketBlackhole
+        with pytest.raises(ValueError):
+            SocketBlackhole(object(), [1], duration=0.0)
+
+
+class TestLiveInjectorDescriptions:
+    def test_describe_strings_are_stable(self):
+        from repro.faults import (RegistrationErrors, ShardKill,
+                                  ShardStall, SocketBlackhole)
+        assert ShardKill([], 2).describe() == "shard-kill:slot2"
+        assert ShardStall([], 1, duration=2.0).describe() == \
+            "shard-stall:slot1:2.0s"
+        assert ShardStall([], 1, duration=None).describe() == \
+            "shard-stall:slot1:forever"
+        assert SocketBlackhole(object(), [1, 2], 3.0).describe() == \
+            "socket-blackhole:2flows:3.0s"
+        assert RegistrationErrors(object(), 5).describe() == \
+            "registration-errors:5"
+        with pytest.raises(ValueError):
+            ShardStall([], 0, duration=-1.0)
+        with pytest.raises(ValueError):
+            RegistrationErrors(object(), failures=0)

@@ -16,9 +16,11 @@ import time
 import pytest
 
 from repro.core.clock import ManualClock
-from repro.live.gateway import (LiveGateway, TenantPolicy, TokenBucket,
-                                shard_index)
-from repro.live.loadgen import LoadConfig, _percentile
+from repro.live.gateway import (REASON_SHARD_DOWN, REASON_SHARD_OVERLOADED,
+                                LiveGateway, TenantPolicy, TokenBucket,
+                                TransientRegistrationError, shard_index)
+from repro.live.loadgen import (LoadConfig, _percentile,
+                                register_with_retry)
 from repro.live.server import LiveServer, _PaceState
 from repro.live.shard import RouterShard, ShardConfig
 from repro.live.wire import LivePacket, decode_packet, encode_packet
@@ -161,6 +163,174 @@ class TestAdmission:
     def test_needs_at_least_one_shard(self):
         with pytest.raises(ValueError):
             LiveGateway(ManualClock(), [])
+
+    def test_admission_decision_carries_the_pool_slot(self):
+        gateway, _, _ = make_gateway(n_shards=4)
+        decision = gateway.register("t", 5, CLIENT)
+        assert decision.shard_slot == shard_index("t", 5, 4)
+
+
+class BrokenShard(FakeShard):
+    """install_route raises, as a dead child's pipe would."""
+
+    def install_route(self, flow_id, addr):
+        raise BrokenPipeError("child is gone")
+
+
+class TestClosedSlots:
+    """Every rejection reason, including the supervisor-driven ones."""
+
+    def register_on_slot(self, gateway, n_shards, slot):
+        key = 0
+        while shard_index("t", key, n_shards) != slot:
+            key += 1
+        return gateway.register("t", key, CLIENT)
+
+    def test_closed_slot_rejects_with_the_closing_reason(self):
+        for reason in (REASON_SHARD_DOWN, REASON_SHARD_OVERLOADED):
+            gateway, _, _ = make_gateway(n_shards=2)
+            gateway.close_shard(1, reason)
+            decision = self.register_on_slot(gateway, 2, 1)
+            assert not decision.admitted
+            assert decision.reason == reason
+            assert decision.shard_slot == 1
+            assert gateway.rejected[reason] == 1
+            # The other slot keeps admitting.
+            assert self.register_on_slot(gateway, 2, 0).admitted
+
+    def test_reopened_slot_admits_again(self):
+        gateway, _, _ = make_gateway(n_shards=2)
+        gateway.close_shard(0, REASON_SHARD_OVERLOADED)
+        gateway.open_shard(0)
+        assert self.register_on_slot(gateway, 2, 0).admitted
+
+    def test_install_failure_closes_the_slot_and_rejects_shard_down(self):
+        clock = ManualClock()
+        shards = [BrokenShard(1)]
+        gateway = LiveGateway(clock, shards, flow_reserve_bps=1_000.0)
+        decision = gateway.register("t", 0, CLIENT)
+        assert not decision.admitted
+        assert decision.reason == REASON_SHARD_DOWN
+        assert gateway.shard_closed(0) == REASON_SHARD_DOWN
+        # The failed registration reserved nothing and admitted nothing.
+        assert gateway.admitted == 0
+        assert gateway.flows == {}
+
+    def test_all_five_rejection_reasons_are_pre_seeded(self):
+        gateway, _, _ = make_gateway()
+        assert set(gateway.rejected) == {
+            "rate_limited", "tenant_full", "shard_full",
+            REASON_SHARD_DOWN, REASON_SHARD_OVERLOADED}
+
+
+class TestReplaceShard:
+    def test_replace_rehomes_flows_without_bulk_support(self):
+        # FakeShard has no install_routes: the per-flow fallback runs.
+        gateway, shards, _ = make_gateway(n_shards=1)
+        ids = [gateway.register("t", key, CLIENT).flow_id
+               for key in range(3)]
+        replacement = FakeShard(9, shards[0].capacity_bps)
+        rehomed = gateway.replace_shard(0, replacement)
+        assert rehomed == sorted(ids)
+        assert sorted(replacement.routes) == sorted(ids)
+        assert gateway.shards[0] is replacement
+
+    def test_reservations_survive_replacement(self):
+        gateway, shards, _ = make_gateway(n_shards=1,
+                                          capacity_bps=20_000.0,
+                                          reserve=10_000.0)
+        gateway.register("t", 0, CLIENT)
+        gateway.register("t", 1, CLIENT)
+        gateway.replace_shard(0, FakeShard(9, 20_000.0))
+        # Still full: the flows moved, their budgets did not reset.
+        assert gateway.register("t", 2, CLIENT).reason == "shard_full"
+
+    def test_replace_bad_slot_raises(self):
+        gateway, _, _ = make_gateway(n_shards=1)
+        with pytest.raises(IndexError):
+            gateway.replace_shard(3, FakeShard(9))
+
+
+class FlakyGateway:
+    """Raises/rejects a scripted number of times, then admits."""
+
+    def __init__(self, real, errors=0, rejections=0,
+                 rejection_reason=REASON_SHARD_DOWN):
+        self.real = real
+        self.errors = errors
+        self.rejections = rejections
+        self.rejection_reason = rejection_reason
+        self.calls = 0
+
+    def register(self, tenant, flow_key, client_addr):
+        self.calls += 1
+        if self.errors > 0:
+            self.errors -= 1
+            raise TransientRegistrationError("flaky")
+        if self.rejections > 0:
+            self.rejections -= 1
+            self.real.close_shard(0, self.rejection_reason)
+            try:
+                return self.real.register(tenant, flow_key, client_addr)
+            finally:
+                self.real.open_shard(0)
+        return self.real.register(tenant, flow_key, client_addr)
+
+
+class TestRegisterWithRetry:
+    def make_flaky(self, **kwargs):
+        gateway, _, _ = make_gateway(n_shards=1)
+        return FlakyGateway(gateway, **kwargs)
+
+    def test_transient_errors_back_off_and_succeed(self):
+        import random
+        flaky = self.make_flaky(errors=2)
+        sleeps = []
+        decision = register_with_retry(
+            flaky, "t", 0, CLIENT, retries=4, backoff=0.05,
+            rng=random.Random(7), sleep=sleeps.append)
+        assert decision.admitted
+        assert flaky.calls == 3
+        assert len(sleeps) == 2
+        # Exponential shape with jitter in [0.5, 1.5) x backoff x 2^k.
+        assert 0.025 <= sleeps[0] < 0.075
+        assert 0.05 <= sleeps[1] < 0.15
+        assert sleeps[1] > sleeps[0]
+
+    def test_retryable_rejections_are_retried(self):
+        flaky = self.make_flaky(rejections=1)
+        decision = register_with_retry(flaky, "t", 0, CLIENT, retries=2,
+                                       sleep=lambda s: None)
+        assert decision.admitted
+        assert flaky.calls == 2
+
+    def test_non_retryable_rejection_returns_immediately(self):
+        gateway, _, _ = make_gateway(max_flows=0)
+        sleeps = []
+        decision = register_with_retry(gateway, "t", 0, CLIENT, retries=3,
+                                       sleep=sleeps.append)
+        assert not decision.admitted
+        assert decision.reason == "tenant_full"
+        assert sleeps == []
+
+    def test_exhausted_errors_become_a_structured_rejection(self):
+        flaky = self.make_flaky(errors=99)
+        decision = register_with_retry(flaky, "t", 7, CLIENT, retries=2,
+                                       sleep=lambda s: None)
+        assert not decision.admitted
+        assert decision.reason == "registration_error"
+        assert decision.tenant == "t" and decision.flow_key == 7
+        assert flaky.calls == 3  # initial + 2 retries
+
+    def test_registration_errors_injector_is_ridden_out(self):
+        from repro.faults import RegistrationErrors
+        gateway, _, _ = make_gateway(n_shards=1)
+        RegistrationErrors(gateway, failures=2).apply(sim=None)
+        decision = register_with_retry(gateway, "t", 0, CLIENT, retries=3,
+                                       sleep=lambda s: None)
+        assert decision.admitted
+        # The wrapper restored the original method after its budget.
+        assert gateway.register("t", 1, CLIENT).admitted
 
 
 class TestLoadConfig:
@@ -319,6 +489,90 @@ class TestShardProcess:
         shard.start()
         assert shard.stop() is not None
         assert shard.stop() is None
+
+
+@pytest.mark.live
+class TestShardPipeEdgeCases:
+    """The control pipe under child death and supervision traffic."""
+
+    def test_sync_request_raises_cleanly_after_child_death(self):
+        import os
+        import signal
+        shard = RouterShard(ShardConfig(shard_id=1))
+        try:
+            shard.start()
+            os.kill(shard.pid, signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while shard.exitcode is None and time.time() < deadline:
+                time.sleep(0.01)
+            # EOF mid-wait surfaces as RuntimeError, not EOFError.
+            with pytest.raises(RuntimeError):
+                shard.stats(timeout=1.0)
+        finally:
+            shard.stop()
+
+    def test_async_verbs_are_safe_after_child_death(self):
+        import os
+        import signal
+        shard = RouterShard(ShardConfig(shard_id=1))
+        try:
+            shard.start()
+            os.kill(shard.pid, signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while shard.exitcode is None and time.time() < deadline:
+                time.sleep(0.01)
+            # Fire-and-forget + drain: no exception, liveness visible.
+            shard.ping(1.0)
+            shard.request_stats()
+            assert shard.poll_messages() >= 0
+            assert shard.exitcode is not None
+            assert not shard.alive
+        finally:
+            shard.stop()
+
+    def test_stop_escalates_past_a_sigstopped_child(self):
+        import os
+        import signal
+        shard = RouterShard(ShardConfig(shard_id=1))
+        started = False
+        try:
+            shard.start()
+            started = True
+            os.kill(shard.pid, signal.SIGSTOP)
+            t0 = time.time()
+            # Polite stop can't answer; terminate pends on a stopped
+            # process; the SIGKILL rung must still reap it.
+            assert shard.stop(timeout=1.0) is None
+            assert time.time() - t0 < 30.0
+            assert shard.stop() is None  # handle fully stopped
+            started = False
+        finally:
+            if started:
+                shard.kill()
+
+    def test_kill_is_immediate_and_idempotent(self):
+        shard = RouterShard(ShardConfig(shard_id=1))
+        shard.start()
+        shard.kill()
+        assert not shard.alive
+        shard.kill()  # no process: no-op
+        assert shard.stop() is None
+
+    def test_sync_request_skips_interleaved_supervision_replies(self):
+        shard = RouterShard(ShardConfig(shard_id=1))
+        try:
+            shard.start()
+            # Queue async replies ahead of the synchronous stats call:
+            # _request must dispatch them, not mistake them for its
+            # answer.
+            shard.ping(42.0)
+            shard.request_stats()
+            stats = shard.stats(timeout=5.0)
+            assert stats.shard_id == 1
+            shard.poll_messages()
+            assert shard.last_pong == 42.0
+        finally:
+            shard.stop()
 
 
 @pytest.mark.live

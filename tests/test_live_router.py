@@ -210,6 +210,62 @@ class TestRawSocketBatching:
             make_router(recv_batch=0)
 
 
+class TestLayeredShedding:
+    def test_level_one_sheds_red_only(self):
+        router = make_router()
+        router.set_shed_level(1)
+        for color in (Color.GREEN, Color.YELLOW, Color.RED,
+                      Color.BEST_EFFORT):
+            router._ingest(datagram(color))
+        assert router.shed_packets == [0, 0, 1, 0]
+        assert router.queue_depth(Color.RED) == 0
+        assert router.queue_depth(Color.GREEN) == 1
+        assert router.queue_depth(Color.YELLOW) == 1
+        assert router.queue_depth(Color.BEST_EFFORT) == 1
+
+    def test_level_two_sheds_red_and_yellow_never_green(self):
+        router = make_router()
+        router.set_shed_level(2)
+        for color in (Color.GREEN, Color.YELLOW, Color.RED,
+                      Color.BEST_EFFORT):
+            router._ingest(datagram(color, size=300))
+        assert router.shed_packets == [0, 1, 1, 0]
+        assert router.shed_bytes[Color.YELLOW] == \
+            router.shed_bytes[Color.RED] > 0
+        assert router.queue_depth(Color.GREEN) == 1
+        assert router.queue_depth(Color.BEST_EFFORT) == 1
+
+    def test_shed_packets_still_count_as_offered_load(self):
+        # Eq. 11's virtual loss is computed over *offered* load — a
+        # shed packet must still appear in arrivals and _pels_bytes so
+        # upstream senders see the loss signal and back off.
+        router = make_router()
+        router.set_shed_level(1)
+        for seq in range(3):
+            router._ingest(datagram(Color.RED, seq=seq, size=200))
+        assert router.arrivals[Color.RED] == 3
+        assert router._pels_bytes == 3 * 200
+        assert router.drops[Color.RED] == 0  # shed, not overflow
+
+    def test_level_zero_restores_forwarding(self):
+        router = make_router()
+        router.set_shed_level(2)
+        router._ingest(datagram(Color.RED, seq=0))
+        router.set_shed_level(0)
+        router._ingest(datagram(Color.RED, seq=1))
+        assert router.queue_depth(Color.RED) == 1
+        assert router.shed_packets[Color.RED] == 1
+
+    def test_shed_level_validation_and_depth_introspection(self):
+        router = make_router()
+        for level in (-1, 3):
+            with pytest.raises(ValueError):
+                router.set_shed_level(level)
+        router._ingest(datagram(Color.GREEN))
+        router._ingest(datagram(Color.YELLOW))
+        assert router.queue_depths() == [1, 1, 0, 0]
+
+
 class TestWirePeeks:
     def test_peeks_agree_with_full_decode(self):
         data = encode_packet(LivePacket(flow_id=321, seq=5,
