@@ -41,6 +41,7 @@ __all__ = [
     "check_lemma4_fixed_point",
     "check_lemma4_fluid",
     "check_gamma_stability",
+    "check_tuned_stability",
     "check_eq2_identity",
     "check_eq3_identity",
     "check_eq6_bound",
@@ -415,6 +416,66 @@ def check_network_equilibrium(scenario: FluidScenario, result: FluidResult,
 def run_fluid(scenario: FluidScenario) -> FluidResult:
     """Run a scenario on the stdlib list backend (deterministic)."""
     return FluidEngine(scenario, backend="list").run()
+
+
+def check_tuned_stability(controller=None, gamma=None,
+                          queue_config=None) -> OracleVerdict:
+    """Verify an (online-tuned) control plane still sits inside the
+    paper's stability envelopes and its own declared safe ranges.
+
+    The meta-control layer promises that *no sequence of adjustments*
+    can leave Lemma 5 (``0 < beta < 2``), Lemma 2/3 (``0 < sigma < 2``),
+    Lemma 4's ``0 < p_thr <= 1``, or the hard ``TunableParam`` envelope
+    of any declared knob.  ``measured`` is the largest violation
+    distance found (0.0 when everything conforms), so a failing
+    property test prints how far outside the envelope the tuner drove
+    the parameter.
+    """
+    worst = 0.0
+    details = []
+
+    def _flag(amount: float, label: str) -> None:
+        nonlocal worst
+        if amount > 0:
+            worst = max(worst, amount)
+            details.append(label)
+
+    def _outside_open(value: float, lo: float, hi: float) -> float:
+        """Distance outside the *open* interval (boundary counts)."""
+        if value <= lo:
+            return (lo - value) or 1e-12
+        if value >= hi:
+            return (value - hi) or 1e-12
+        return 0.0
+
+    for target in (controller, gamma, queue_config):
+        if target is None:
+            continue
+        for name, spec in target.tunable_params().items():
+            value = target.pels_share() if name == "pels_share" \
+                else getattr(target, name)
+            _flag(max(spec.lo - value, value - spec.hi),
+                  f"{type(target).__name__}.{name}={value:.6g} outside "
+                  f"[{spec.lo:g}, {spec.hi:g}]")
+
+    if controller is not None:
+        beta = getattr(controller, "beta", None)
+        if beta is not None:
+            _flag(_outside_open(beta, 0.0, 2.0),
+                  f"Lemma 5 violated: beta={beta}")
+        alpha = getattr(controller, "alpha_bps", None)
+        if alpha is not None and alpha <= 0:
+            _flag((-alpha) or 1e-12, f"alpha must be positive, got {alpha}")
+    if gamma is not None:
+        _flag(_outside_open(gamma.sigma, 0.0, 2.0),
+              f"Lemma 2/3 violated: sigma={gamma.sigma}")
+        if not 0 < gamma.p_thr <= 1:
+            _flag(_outside_open(gamma.p_thr, 0.0, 1.0) or 1e-12,
+                  f"Lemma 4 needs 0 < p_thr <= 1, got {gamma.p_thr}")
+
+    return OracleVerdict(
+        name="tuned-stability", ok=worst == 0.0, measured=worst,
+        expected=0.0, tolerance=0.0, detail="; ".join(details))
 
 
 def violations(verdicts: List[OracleVerdict]) -> List[OracleVerdict]:

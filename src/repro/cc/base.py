@@ -14,13 +14,77 @@ and against the wall clock in :mod:`repro.live` (see
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Dict, Type
 
-__all__ = ["RateController", "register_controller", "make_controller",
-           "available_controllers"]
+__all__ = ["TunableParam", "Tunable", "RateController",
+           "register_controller", "make_controller",
+           "available_controllers", "temporary_controller"]
 
 
-class RateController:
+@dataclass(frozen=True)
+class TunableParam:
+    """One online-adjustable parameter and its safe range.
+
+    The range is the *hard* envelope the tuning seam enforces — chosen
+    so no value inside it can violate the paper's stability lemmas
+    (e.g. MKC's beta stays strictly inside Lemma 5's ``(0, 2)``).  A
+    meta-controller may ask for anything; :meth:`Tunable.apply_params`
+    clamps to ``[lo, hi]`` before applying.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    description: str = ""
+
+    def clamp(self, value: float) -> float:
+        return min(self.hi, max(self.lo, float(value)))
+
+
+class Tunable:
+    """The online-tuning seam: declare parameters, apply clamped values.
+
+    Anything adjustable at runtime — rate controllers, the gamma
+    controller, the WRR queue config — exposes its knobs through
+    :meth:`tunable_params` and accepts updates through
+    :meth:`apply_params`.  The seam is what keeps the meta-control
+    layer (:mod:`repro.control`) generic: it never imports a concrete
+    controller, only this protocol.
+    """
+
+    def tunable_params(self) -> Dict[str, TunableParam]:
+        """Declared knobs by name; empty means "not tunable"."""
+        return {}
+
+    def apply_params(self, **params: float) -> Dict[str, float]:
+        """Clamp each value to its safe range and apply it.
+
+        Returns the values actually applied (post-clamp), keyed by
+        name.  Unknown names raise — a meta-controller addressing a
+        knob the target never declared is a wiring bug, not a value to
+        silently drop.
+        """
+        declared = self.tunable_params()
+        applied: Dict[str, float] = {}
+        for name in sorted(params):
+            spec = declared.get(name)
+            if spec is None:
+                raise ValueError(
+                    f"{type(self).__name__} has no tunable {name!r}; "
+                    f"declared: {sorted(declared)}")
+            value = spec.clamp(params[name])
+            self._apply_param(name, value)
+            applied[name] = value
+        return applied
+
+    def _apply_param(self, name: str, value: float) -> None:
+        """Set one clamped value (override for coupled parameters)."""
+        setattr(self, name, value)
+
+
+class RateController(Tunable):
     """Maps network feedback to a sending rate in bits/second.
 
     Subclasses implement :meth:`on_feedback`; the PELS source calls it
@@ -107,3 +171,21 @@ def make_controller(name: str, **kwargs) -> RateController:
 def available_controllers() -> list[str]:
     """Names of all registered controllers."""
     return sorted(_REGISTRY)
+
+
+@contextmanager
+def temporary_controller(name: str, cls: Type[RateController]):
+    """Register ``cls`` under ``name`` for the scope of a ``with`` block.
+
+    The registry is module-global state; a test registering a stub
+    controller directly would leak it into every later test (an
+    order-dependence bug the randomized-order suite exists to catch).
+    This helper guarantees removal even when the body raises.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"controller {name!r} already registered")
+    _REGISTRY[name] = cls
+    try:
+        yield cls
+    finally:
+        _REGISTRY.pop(name, None)

@@ -55,7 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--controller", default="mkc", choices=controllers,
                      help="congestion controller")
     sim.add_argument("--cross-traffic", default="cbr",
-                     choices=["cbr", "tcp", "none"])
+                     choices=["cbr", "tcp", "lrd", "none"])
+    sim.add_argument("--tune", action="store_true",
+                     help="attach the online meta-controller (PID tuning "
+                          "of MKC alpha and gamma sigma within their "
+                          "stability-safe ranges)")
     sim.add_argument("--json", default="", help="write summary JSON here")
 
     live = sub.add_parser(
@@ -90,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--seed", type=int, default=None,
                       help="seed the server-side RNG (cross-traffic wake "
                            "jitter) so the emission schedule reproduces")
+    live.add_argument("--tune", action="store_true",
+                      help="attach the online meta-controller (PID tuning "
+                           "of MKC alpha and gamma sigma)")
     live.add_argument("--json", default="", help="write summary JSON here")
 
     gwy = sub.add_parser(
@@ -225,14 +232,21 @@ def _cmd_simulate(args) -> int:
     from .core.report import build_report
     from .core.session import PelsScenario, PelsSimulation
 
+    meta_config = None
+    if args.tune:
+        from .control.meta import MetaControllerConfig
+        meta_config = MetaControllerConfig()
     scenario = PelsScenario(
         n_flows=args.flows, duration=args.duration, seed=args.seed,
         alpha_bps=args.alpha, beta=args.beta, p_thr=args.p_thr,
         sigma=args.sigma, controller_name=args.controller,
-        cross_traffic=args.cross_traffic)
+        cross_traffic=args.cross_traffic, meta_controller=meta_config)
     sim = PelsSimulation(scenario).run()
     report = build_report(sim)
     print(report.render())
+    if sim.meta is not None:
+        print(f"  meta-control: {sim.meta.adjustments} adjustments over "
+              f"{sim.meta.steps} epochs")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
@@ -249,8 +263,12 @@ def _cmd_live(args) -> int:
         beta=args.beta, p_thr=args.p_thr, sigma=args.sigma,
         bottleneck_bps=args.bottleneck,
         feedback_interval=args.interval,
-        cross_traffic=args.cross_traffic, seed=args.seed)
+        cross_traffic=args.cross_traffic, seed=args.seed,
+        tune=args.tune)
     result = run_live_session(config)
+    if result.meta is not None:
+        print(f"  meta-control: {result.meta.adjustments} adjustments over "
+              f"{result.meta.steps} samples")
     # The live ramp from 128 kb/s eats ~2 s of wall clock; measure the
     # steady state over the final 40% (see experiments/live_exp.py).
     report = build_live_report(result, warmup_fraction=0.6)

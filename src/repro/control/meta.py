@@ -1,0 +1,323 @@
+"""The online meta-controller: PID loops over the PELS control law.
+
+The paper fixes MKC's ``alpha``/``beta``, gamma's ``sigma``/``p_thr``
+and the WRR weights per scenario.  :class:`MetaController` tunes them
+online against what the obs layer measures each feedback epoch
+(:class:`~repro.obs.monitor.EpochObservation`), through the clamped
+tuning seam of :mod:`repro.cc.base` — so no adjustment can leave the
+paper's stability envelopes (Lemma 2/3 for sigma, Lemma 5 for beta).
+
+Three loops, each a :class:`~repro.control.pid.PIDController`:
+
+* **rate loop** — one PID *per flow*, each driving that flow's signed
+  convergence error ``(r_i - r*0) / r*0`` against the *paper-fixed*
+  Lemma 6 oracle ``r*0`` to zero by scaling its MKC additive gain:
+  ``alpha_i = alpha0 * (1 + u_i)``.  After an outage the collapsed
+  rates yield large negative errors, every PID raises its alpha and
+  the flows ramp back several times faster; because each flow is
+  steered by its *own* error, a laggard gets the biggest boost and a
+  flow overshooting the oracle has its gain trimmed — the loop
+  actively equalizes the population (MKC's intrinsic max-min
+  convergence closes rate gaps only at ``(1 - beta p)`` per loss
+  epoch, much slower).  At equilibrium each loop's only fixed point is
+  ``u_i = 0`` (any residual ``u_i`` shifts that flow's equilibrium off
+  ``r*0``, producing an opposing error that unwinds the leaky
+  integral), so steady-state behaviour converges back to the paper's.
+* **gamma loop** — tracks an EMA of the *gamma innovation* (mean
+  distance of each flow's gamma from its Lemma 4 fixed point) against
+  a small tolerance, scaling ``sigma = sigma0 * (1 - v)``: persistent
+  innovation means gamma is chasing a moving loss level (LRD cross
+  traffic, churn) and a larger gain tracks it faster; a quiet plant
+  relaxes sigma back toward — and below — the baseline.
+* **WRR loop** (opt-in) — nudges the PELS share to hold the green
+  queueing delay at a target, the Section 4.1 administrative knob
+  closed-loop.  Off by default because changing the share moves the
+  capacity ``C`` of the oracle itself.
+
+Every applied adjustment is recorded through a pluggable
+:class:`~repro.control.backend.StateBackend` (``MemoryBackend`` here;
+the interface is what a ``pels serve`` storage layer will implement).
+
+The controller is clock-free and event-free: it only acts inside
+:meth:`step`, which the host calls from the router's epoch hook (sim)
+or a periodic task (live).  With no meta-controller attached nothing
+in this module runs — untuned simulations remain event- and
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..obs.monitor import EpochObservation
+from .backend import MemoryBackend, StateBackend
+from .pid import PIDController
+
+__all__ = ["MetaControllerConfig", "MetaController"]
+
+
+@dataclass
+class MetaControllerConfig:
+    """Gains, setpoints and loop toggles of the meta-controller.
+
+    Defaults are deliberately conservative: at the 30 ms epoch cadence
+    an adjustment is applied at most every ``update_interval`` seconds,
+    and the output clamps keep the commanded parameters within a few
+    multiples of their baselines (the tuning seam then enforces the
+    hard stability envelopes independently).
+    """
+
+    #: Minimum seconds between applied adjustments (PID gating).
+    update_interval: float = 0.24
+
+    # -- rate loop: alpha = alpha0 * (1 + u) ----------------------------
+    tune_rate: bool = True
+    #: P-dominant: the boost follows the error down, so alpha returns
+    #: to alpha0 as reconvergence completes rather than overshooting.
+    rate_kp: float = 2.0
+    rate_ki: float = 0.1
+    rate_kd: float = 0.0
+    #: Forgetting time constant (s) of the rate integral: a transient
+    #: boost unwinds on its own within a few seconds of quiet.
+    rate_leak_s: float = 2.0
+    #: Clamp on u: alpha ranges over [alpha0 * (1 + lo), alpha0 * (1 + hi)].
+    rate_output_range: tuple = (-0.5, 2.0)
+
+    # -- gamma loop: sigma = sigma0 * (1 - v) ---------------------------
+    tune_gamma: bool = True
+    gamma_kp: float = 3.0
+    gamma_ki: float = 0.2
+    gamma_kd: float = 0.0
+    gamma_leak_s: float = 3.0
+    #: Innovation level considered "converged" (the setpoint).
+    innovation_tolerance: float = 0.02
+    #: EMA weight of each new innovation sample.
+    innovation_smoothing: float = 0.3
+    #: Clamp on v: sigma ranges over [sigma0 * (1 - hi), sigma0 * (1 - lo)].
+    gamma_output_range: tuple = (-2.0, 0.5)
+
+    # -- WRR loop: share = share0 + w (opt-in) --------------------------
+    tune_wrr: bool = False
+    wrr_kp: float = 2.0
+    wrr_ki: float = 0.2
+    #: Green-queue mean delay target (seconds).
+    green_delay_target_s: float = 0.005
+    #: Clamp on the share offset w.
+    wrr_output_range: tuple = (-0.3, 0.3)
+
+
+class MetaController:
+    """Online PID tuning of an attached PELS control plane."""
+
+    def __init__(self, config: Optional[MetaControllerConfig] = None,
+                 backend: Optional[StateBackend] = None) -> None:
+        self.config = config or MetaControllerConfig()
+        self.backend = backend if backend is not None else MemoryBackend()
+        c = self.config
+
+        #: One rate PID per bound flow — created by :meth:`bind`.
+        self.rate_pids: List[Optional[PIDController]] = []
+        self.gamma_pid = PIDController(
+            kp=c.gamma_kp, ki=c.gamma_ki, kd=c.gamma_kd,
+            setpoint=c.innovation_tolerance,
+            output_min=c.gamma_output_range[0],
+            output_max=c.gamma_output_range[1],
+            update_interval=c.update_interval,
+            integral_leak=c.gamma_leak_s)
+        self.wrr_pid = PIDController(
+            kp=c.wrr_kp, ki=c.wrr_ki, setpoint=c.green_delay_target_s,
+            output_min=c.wrr_output_range[0],
+            output_max=c.wrr_output_range[1],
+            update_interval=c.update_interval)
+
+        self.controllers: List = []
+        self.gammas: List = []
+        self.r_star: float = 0.0
+        self._alpha0: List[Optional[float]] = []
+        self._sigma0: List[float] = []
+        self._wrr_apply: Optional[Callable[[float], None]] = None
+        self._share0: float = 0.5
+        self._innovation_ema: Optional[float] = None
+        self.steps = 0
+        self.adjustments = 0
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind(self, controllers: Sequence, gammas: Sequence, r_star: float,
+             wrr_apply: Optional[Callable[[float], None]] = None,
+             wrr_share0: float = 0.5) -> "MetaController":
+        """Point the loops at a set of controllers/gammas.
+
+        ``r_star`` is the *paper-fixed* Lemma 6 oracle computed from
+        the baseline parameters — the setpoint never moves with the
+        tuned alpha, which is what makes the rate loop self-correcting.
+        ``wrr_apply`` receives the new PELS share when the WRR loop is
+        enabled (e.g. ``PelsSimulation.reconfigure_pels_share``).
+        """
+        if r_star <= 0:
+            raise ValueError("r_star must be positive")
+        self.controllers = list(controllers)
+        self.gammas = list(gammas)
+        self.r_star = r_star
+        # Baselines captured here are what reset() restores and what
+        # the multiplicative mappings scale from.
+        self._alpha0 = [
+            getattr(ctl, "alpha_bps", None)
+            if "alpha_bps" in ctl.tunable_params() else None
+            for ctl in self.controllers]
+        self.rate_pids = [
+            None if alpha0 is None else self._make_rate_pid()
+            for alpha0 in self._alpha0]
+        self._sigma0 = [g.sigma for g in self.gammas]
+        self._wrr_apply = wrr_apply
+        self._share0 = wrr_share0
+        return self
+
+    def _make_rate_pid(self) -> PIDController:
+        c = self.config
+        return PIDController(
+            kp=c.rate_kp, ki=c.rate_ki, kd=c.rate_kd, setpoint=0.0,
+            output_min=c.rate_output_range[0],
+            output_max=c.rate_output_range[1],
+            update_interval=c.update_interval,
+            integral_leak=c.rate_leak_s)
+
+    def attach(self, assembly) -> "MetaController":
+        """Wire into an assembled simulation (single- or multi-hop).
+
+        Chains onto the first feedback process's ``epoch_hook`` *after*
+        any already-installed hook (the :class:`SimulationMonitor`
+        attaches first), so the monitor snapshots each epoch before the
+        parameters move — tuned runs are auditable epoch-by-epoch.
+        Adds no events to the heap.
+        """
+        from ..obs.monitor import SimulationMonitor, observe_epoch
+
+        feedbacks = getattr(assembly, "feedbacks", None)
+        feedbacks = list(feedbacks) if feedbacks is not None \
+            else [assembly.feedback]
+        hop_queues = getattr(assembly, "hop_queues", None)
+        queues = list(hop_queues) if hop_queues is not None \
+            else [assembly.bottleneck_queue]
+        r_star = SimulationMonitor._lemma6_rate(assembly.scenario)
+
+        wrr_apply = getattr(assembly, "reconfigure_pels_share", None) \
+            if self.config.tune_wrr else None
+        self.bind([src.controller for src in assembly.sources],
+                  [src.gamma_controller for src in assembly.sources],
+                  r_star, wrr_apply=wrr_apply,
+                  wrr_share0=assembly.scenario.queue.pels_share())
+
+        sim = assembly.sim
+        previous = feedbacks[0].epoch_hook
+
+        def _on_epoch(feedback) -> None:
+            if previous is not None:
+                previous(feedback)
+            obs = observe_epoch(assembly, queues, feedbacks, r_star, sim.now)
+            self.step(obs, sim.now)
+
+        feedbacks[0].epoch_hook = _on_epoch
+        return self
+
+    # -- the control step ----------------------------------------------
+
+    def step(self, obs: EpochObservation, now: float) -> None:
+        """Consume one epoch observation; maybe adjust parameters.
+
+        Each enabled loop feeds its PID; a ``None`` PID return (gating
+        interval not yet elapsed) leaves the parameters untouched, so
+        adjustments land at the configured cadence regardless of how
+        often the host calls ``step``.
+        """
+        self.steps += 1
+        c = self.config
+
+        if c.tune_rate and self.controllers:
+            self._step_rate(obs, now)
+
+        if c.tune_gamma and self.gammas:
+            sample = obs.gamma_innovation
+            ema = self._innovation_ema
+            ema = sample if ema is None else \
+                ema + c.innovation_smoothing * (sample - ema)
+            self._innovation_ema = ema
+            v = self.gamma_pid.update(ema, now)
+            if v is not None:
+                self._apply_sigma(1.0 - v, now)
+
+        if c.tune_wrr and self._wrr_apply is not None:
+            green_delay = obs.delays_s.get("green")
+            if green_delay is not None:
+                w = self.wrr_pid.update(green_delay, now)
+                if w is not None:
+                    self._apply_share(self._share0 + w, now)
+
+    def _step_rate(self, obs: EpochObservation, now: float) -> None:
+        """Per-flow rate loops: each flow steered by its own error.
+
+        Falls back to the population error when the observation does
+        not carry one rate per bound controller (a live stack binding
+        flows lazily can briefly disagree)."""
+        applied = {}
+        per_flow = len(obs.rates_bps) == len(self.controllers)
+        for i, ctl in enumerate(self.controllers):
+            pid = self.rate_pids[i]
+            if pid is None:
+                continue
+            error = ((obs.rates_bps[i] - obs.r_star) / obs.r_star
+                     if per_flow else obs.conv_error)
+            u = pid.update(error, now)
+            if u is not None:
+                result = ctl.apply_params(
+                    alpha_bps=self._alpha0[i] * (1.0 + u))
+                applied[f"alpha_bps_{i}"] = result["alpha_bps"]
+        if applied:
+            self.adjustments += 1
+            self.backend.record(now, "rate", applied)
+
+    def _apply_sigma(self, scale: float, now: float) -> None:
+        applied = {}
+        for i, gamma in enumerate(self.gammas):
+            result = gamma.apply_params(sigma=self._sigma0[i] * scale)
+            applied[f"sigma_{i}"] = result["sigma"]
+        if applied:
+            self.adjustments += 1
+            self.backend.record(now, "gamma", applied)
+
+    def _apply_share(self, share: float, now: float) -> None:
+        from ..core.pels_queue import PELS_SHARE_SAFE_RANGE
+
+        lo, hi = PELS_SHARE_SAFE_RANGE
+        share = min(hi, max(lo, share))
+        self._wrr_apply(share)
+        self.adjustments += 1
+        self.backend.record(now, "wrr", {"pels_share": share})
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore every wrapped controller to its bound baseline.
+
+        Parameters return to the values captured by :meth:`bind`, the
+        PIDs and the innovation EMA forget their state (the next
+        ``update`` primes again), and the WRR share — if this instance
+        ever moved it — snaps back.  The backend's adjustment log is
+        kept: it is an audit trail, not control state.
+        """
+        for i, ctl in enumerate(self.controllers):
+            alpha0 = self._alpha0[i]
+            if alpha0 is not None:
+                ctl.apply_params(alpha_bps=alpha0)
+        for i, gamma in enumerate(self.gammas):
+            gamma.apply_params(sigma=self._sigma0[i])
+        if self._wrr_apply is not None and \
+                self.backend.latest("wrr") is not None:
+            self._wrr_apply(self._share0)
+        for pid in self.rate_pids:
+            if pid is not None:
+                pid.reset()
+        self.gamma_pid.reset()
+        self.wrr_pid.reset()
+        self._innovation_ema = None

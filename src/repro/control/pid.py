@@ -1,0 +1,159 @@
+"""A clock-free PID controller for online parameter tuning.
+
+The meta-control layer (see :mod:`repro.control.meta`) adjusts MKC's
+``alpha``, gamma's ``sigma`` and the WRR weights against observed
+convergence error, loss and delay.  Each adjustable knob gets one
+:class:`PIDController`: a textbook discrete PID with the three
+robustness features every practical deployment needs —
+
+* **output clamps**: the raw ``P + I + D`` sum is clamped to
+  ``[output_min, output_max]`` so a burst of error cannot command a
+  parameter excursion outside its safe range;
+* **anti-windup by back-calculation**: while the output is pinned at a
+  clamp, the integral may fill up *to* the clamp but no further (error
+  pulling back inside always integrates), so it cannot accumulate an
+  unbounded correction that must later unwind;
+* **update-interval gating**: calls arriving less than
+  ``update_interval`` after the last applied update return ``None``
+  and change nothing — the tuned system gets time to express the last
+  adjustment before the next one (the epoch cadence T is much faster
+  than a parameter change takes to show up in the rate trajectory).
+
+Like the rate controllers (:mod:`repro.cc.base`), the PID never reads
+a clock: every :meth:`update` takes ``now`` explicitly, so the same
+instance runs inside the discrete-event simulator and against the wall
+clock in :mod:`repro.live`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["PIDController"]
+
+
+class PIDController:
+    """Discrete PID with clamping, anti-windup and update gating.
+
+    Parameters
+    ----------
+    kp, ki, kd:
+        Proportional / integral / derivative gains.
+    setpoint:
+        The target value of the measured signal; the controller acts on
+        ``error = setpoint - measurement``.
+    output_min, output_max:
+        Clamp range of the control output.
+    update_interval:
+        Minimum seconds between *applied* updates; earlier calls are
+        gated (return ``None``).  The first call after construction (or
+        :meth:`reset`) only primes the time/error state — it never
+        produces an output, because no ``dt`` exists yet.
+    integral_limit:
+        Optional absolute bound on the integral term (defaults to the
+        output span, which is sufficient with the conditional
+        integration rule; pass a tighter bound for sluggish plants).
+    integral_leak:
+        Optional forgetting time constant (seconds): the integral
+        decays by ``exp(-dt / leak)`` before each accumulation.  A
+        leaky PI tracks sustained error like a plain PI but lets its
+        correction *unwind on its own* once the error vanishes — for
+        parameter tuning that means a transient boost (post-restart)
+        decays back to the baseline instead of permanently offsetting
+        the operating point.
+    """
+
+    __slots__ = ("kp", "ki", "kd", "setpoint", "output_min", "output_max",
+                 "update_interval", "integral_limit", "integral_leak",
+                 "integral", "output", "updates", "_last_time",
+                 "_last_error")
+
+    def __init__(self, kp: float, ki: float = 0.0, kd: float = 0.0,
+                 setpoint: float = 0.0,
+                 output_min: float = -math.inf,
+                 output_max: float = math.inf,
+                 update_interval: float = 0.0,
+                 integral_limit: Optional[float] = None,
+                 integral_leak: Optional[float] = None) -> None:
+        if output_min >= output_max:
+            raise ValueError("need output_min < output_max")
+        if update_interval < 0:
+            raise ValueError("update interval cannot be negative")
+        if integral_limit is not None and integral_limit <= 0:
+            raise ValueError("integral limit must be positive")
+        if integral_leak is not None and integral_leak <= 0:
+            raise ValueError("integral leak time constant must be positive")
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.setpoint = setpoint
+        self.output_min = output_min
+        self.output_max = output_max
+        self.update_interval = update_interval
+        if integral_limit is None and math.isfinite(output_max - output_min):
+            integral_limit = output_max - output_min
+        self.integral_limit = integral_limit
+        self.integral_leak = integral_leak
+        self.integral = 0.0
+        self.output = 0.0
+        self.updates = 0
+        self._last_time: Optional[float] = None
+        self._last_error: Optional[float] = None
+
+    def update(self, measurement: float, now: float) -> Optional[float]:
+        """Feed one measurement; return the new output, or ``None``.
+
+        ``None`` means "no adjustment this call" — either the gating
+        interval has not elapsed or this is the priming call.  The
+        caller applies the returned output only when it is not None,
+        so a gated call leaves the tuned parameters untouched.
+        """
+        error = self.setpoint - measurement
+        if self._last_time is None:
+            self._last_time = now
+            self._last_error = error
+            return None
+        dt = now - self._last_time
+        if dt < self.update_interval or dt <= 0:
+            return None
+
+        proportional = self.kp * error
+        derivative = 0.0
+        if self.kd and self._last_error is not None:
+            derivative = self.kd * (error - self._last_error) / dt
+
+        # Anti-windup: while error pushes the output past a clamp, the
+        # integral may fill up *to* the clamp (back-calculation) but
+        # never beyond it — and never moves further outward once it is
+        # already past (a leak can strand it there transiently).  Error
+        # of the opposite sign always integrates, so the loop can leave
+        # saturation immediately.
+        if self.integral_leak is not None:
+            self.integral *= math.exp(-dt / self.integral_leak)
+        candidate = self.integral + self.ki * error * dt
+        if self.integral_limit is not None:
+            bound = self.integral_limit
+            candidate = min(bound, max(-bound, candidate))
+        raw = proportional + candidate + derivative
+        if raw > self.output_max and error > 0:
+            headroom = self.output_max - proportional - derivative
+            candidate = min(candidate, max(self.integral, headroom))
+        elif raw < self.output_min and error < 0:
+            headroom = self.output_min - proportional - derivative
+            candidate = max(candidate, min(self.integral, headroom))
+        self.integral = candidate
+        raw = proportional + self.integral + derivative
+
+        self.output = min(self.output_max, max(self.output_min, raw))
+        self.updates += 1
+        self._last_time = now
+        self._last_error = error
+        return self.output
+
+    def reset(self) -> None:
+        """Forget all accumulated state; the next update primes again."""
+        self.integral = 0.0
+        self.output = 0.0
+        self._last_time = None
+        self._last_error = None

@@ -17,14 +17,26 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..cc.base import Tunable, TunableParam
+
 __all__ = [
     "GammaController",
+    "SIGMA_SAFE_RANGE",
+    "P_THR_SAFE_RANGE",
     "gamma_fixed_point",
     "is_stable_sigma",
     "iterate_gamma",
     "iterate_gamma_delayed",
     "pels_utility_bound",
 ]
+
+
+#: Safe online-tuning envelope for sigma: strictly inside Lemma 2/3's
+#: ``0 < sigma < 2`` with margin on both ends.
+SIGMA_SAFE_RANGE = (0.05, 1.9)
+#: Safe envelope for the red-loss target; (0, 1] per Lemma 4, bounded
+#: away from 0 so the gamma fixed point ``p / p_thr`` stays finite.
+P_THR_SAFE_RANGE = (0.05, 1.0)
 
 
 def gamma_fixed_point(loss: float, p_thr: float) -> float:
@@ -94,7 +106,7 @@ def iterate_gamma_delayed(sigma: float, p_thr: float, losses: Sequence[float],
     return gammas
 
 
-class GammaController:
+class GammaController(Tunable):
     """Stateful gamma controller embedded in a PELS source.
 
     Applies Eq. (4) on each fresh loss sample, then clamps to the
@@ -123,6 +135,15 @@ class GammaController:
         self.gamma_high = gamma_high
         self.gamma = gamma0
         self.updates = 0
+
+    def tunable_params(self):
+        return {
+            "sigma": TunableParam("sigma", *SIGMA_SAFE_RANGE,
+                                  description="Eq. 4 gain "
+                                              "(Lemma 2/3: 0 < sigma < 2)"),
+            "p_thr": TunableParam("p_thr", *P_THR_SAFE_RANGE,
+                                  description="red-loss target (Lemma 4)"),
+        }
 
     def update(self, loss: float) -> float:
         """One Eq. (4) step with measured FGS loss ``loss``.

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..cc.mkc import MkcController
+from ..control.meta import MetaController, MetaControllerConfig
 from ..obs.metrics import current_registry
 from ..obs.monitor import SimulationMonitor
 from ..sim.chain import Chain, ChainConfig, build_chain
@@ -62,6 +63,8 @@ class MultiHopScenario:
     #: interferer enters at the given hop's upstream router and exits
     #: at the chain tail.
     pels_interferers: tuple = ()
+    #: Opt-in online meta-control (see PelsScenario.meta_controller).
+    meta_controller: Optional[MetaControllerConfig] = None
 
     def pels_capacity_of(self, hop: int) -> float:
         return self.hop_bps[hop] * self.queue.pels_share()
@@ -145,6 +148,12 @@ class MultiHopPelsSimulation:
         registry = current_registry()
         self.monitor = SimulationMonitor(self, registry) \
             if registry is not None else None
+
+        # Opt-in online meta-control (chained after the monitor; the
+        # r* oracle uses the tightest hop, as the monitor does).
+        self.meta: Optional[MetaController] = None
+        if s.meta_controller is not None:
+            self.meta = MetaController(s.meta_controller).attach(self)
 
     def run(self, until: Optional[float] = None) -> "MultiHopPelsSimulation":
         self.sim.run(until=until if until is not None

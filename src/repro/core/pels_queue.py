@@ -16,15 +16,22 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..cc.base import Tunable, TunableParam
 from ..sim.packet import Color, Packet
 from ..sim.queues import DropTailQueue, QueueDiscipline
 from ..sim.scheduler import StrictPriorityScheduler, WeightedRoundRobinScheduler
 from ..sim.stats import WindowedLossEstimator
 
-__all__ = ["PelsQueueConfig", "PelsBottleneckQueue"]
+__all__ = ["PelsQueueConfig", "PelsBottleneckQueue",
+           "PELS_SHARE_SAFE_RANGE"]
 
 
-class PelsQueueConfig:
+#: Safe online-tuning envelope for the PELS WRR share: neither
+#: aggregate is ever starved below 10% of the port.
+PELS_SHARE_SAFE_RANGE = (0.1, 0.9)
+
+
+class PelsQueueConfig(Tunable):
     """Buffer sizing and WRR weighting for the PELS bottleneck port.
 
     Defaults follow the simulation setup of Section 6: PELS and
@@ -60,6 +67,22 @@ class PelsQueueConfig:
     def pels_share(self) -> float:
         """Fraction of the link WRR grants to the PELS aggregate."""
         return self.pels_weight / (self.pels_weight + self.internet_weight)
+
+    def tunable_params(self):
+        return {
+            "pels_share": TunableParam(
+                "pels_share", *PELS_SHARE_SAFE_RANGE,
+                description="WRR fraction granted to the PELS aggregate"),
+        }
+
+    def _apply_param(self, name: str, value: float) -> None:
+        # The share is one degree of freedom over two coupled weights;
+        # normalizing to a unit sum keeps pels_share() == value exactly.
+        if name == "pels_share":
+            self.pels_weight = value
+            self.internet_weight = 1.0 - value
+        else:  # pragma: no cover - no other tunables declared
+            super()._apply_param(name, value)
 
 
 class PelsBottleneckQueue(QueueDiscipline):

@@ -14,9 +14,10 @@ from typing import Dict, List, Optional
 
 from ..cc.base import make_controller
 from ..cc.tcp import TcpSink, TcpSource
+from ..control.meta import MetaController, MetaControllerConfig
 from ..obs.metrics import current_registry
 from ..obs.monitor import SimulationMonitor
-from ..sim.traffic import CbrSource
+from ..sim.traffic import CbrSource, ParetoBurstSource
 from ..sim.engine import Simulator
 from ..sim.packet import Color
 from ..sim.stats import TimeSeries
@@ -94,12 +95,23 @@ class PelsScenario:
 
     #: Cross traffic in the Internet queue: "cbr" keeps it backlogged so
     #: WRR grants PELS exactly its share (the paper uses TCP for this);
-    #: "tcp" uses the Reno-like sources; "none" lets PELS take the link.
+    #: "tcp" uses the Reno-like sources; "lrd" is long-range-dependent
+    #: Pareto ON/OFF VBR (same 3 mb/s mean, heavy-tailed bursts);
+    #: "none" lets PELS take the link.
     cross_traffic: str = "cbr"
     cbr_rate_bps: float = 3_000_000.0
     tcp_flows: int = 2
+    #: LRD cross-traffic shape (see ParetoBurstSource); the peak is
+    #: sized so the long-run mean equals ``cbr_rate_bps``.
+    lrd_peak_bps: float = 6_000_000.0
+    lrd_shape: float = 1.5
+    lrd_mean_burst_s: float = 0.4
     #: Optional per-flow marking policy factory override (see colors.py).
     marking_policy_factory: Optional[type] = None
+    #: Opt-in online meta-control (PID tuning of alpha/sigma/WRR); None
+    #: — the default — attaches nothing, keeping untuned runs event-
+    #: and byte-identical to the frozen-parameter reproduction.
+    meta_controller: Optional[MetaControllerConfig] = None
 
     def start_time_of(self, flow: int) -> float:
         base = 0.0 if self.start_times is None else self.start_times[flow]
@@ -138,12 +150,13 @@ class PelsSimulation:
         if s.start_times is not None and len(s.start_times) != s.n_flows:
             raise ValueError("start_times must have one entry per flow")
 
-        if s.cross_traffic not in ("none", "cbr", "tcp"):
-            raise ValueError("cross_traffic must be 'none', 'cbr' or 'tcp'")
+        if s.cross_traffic not in ("none", "cbr", "tcp", "lrd"):
+            raise ValueError(
+                "cross_traffic must be 'none', 'cbr', 'tcp' or 'lrd'")
         self.sim = Simulator(seed=s.seed)
         self.bottleneck_queue = PelsBottleneckQueue(s.queue)
         n_cross = (s.tcp_flows if s.cross_traffic == "tcp"
-                   else 1 if s.cross_traffic == "cbr" else 0)
+                   else 1 if s.cross_traffic in ("cbr", "lrd") else 0)
         topo_cfg = replace(s.topology, n_flows=s.n_flows + n_cross)
         self.barbell: Barbell = build_barbell(
             self.sim, topo_cfg, bottleneck_queue=lambda: self.bottleneck_queue)
@@ -202,6 +215,7 @@ class PelsSimulation:
         self.tcp_sources: List[TcpSource] = []
         self.tcp_sinks: List[TcpSink] = []
         self.cbr_source: Optional[CbrSource] = None
+        self.lrd_source: Optional[ParetoBurstSource] = None
         if s.cross_traffic == "tcp":
             for i in range(s.tcp_flows):
                 flow_id = 1000 + i
@@ -218,6 +232,20 @@ class PelsSimulation:
             self.cbr_source = CbrSource(self.sim, src_host, dst_host,
                                         flow_id=1000,
                                         rate_bps=s.cbr_rate_bps)
+        elif s.cross_traffic == "lrd":
+            src_host, dst_host = self.barbell.source_sink_pair(s.n_flows)
+            # Idle-period mean sized so the long-run average matches the
+            # CBR rate at the configured peak (same offered load, very
+            # different burst structure).
+            duty = s.cbr_rate_bps / s.lrd_peak_bps
+            if not 0 < duty < 1:
+                raise ValueError("lrd_peak_bps must exceed cbr_rate_bps")
+            mean_idle = s.lrd_mean_burst_s * (1 - duty) / duty
+            self.lrd_source = ParetoBurstSource(
+                self.sim, src_host, dst_host, flow_id=1000,
+                peak_rate_bps=s.lrd_peak_bps,
+                mean_burst_s=s.lrd_mean_burst_s, mean_idle_s=mean_idle,
+                shape=s.lrd_shape)
 
         # Periodic measurement: per-color physical loss at the bottleneck.
         self.color_loss_series: Dict[Color, TimeSeries] = {
@@ -233,6 +261,13 @@ class PelsSimulation:
         registry = current_registry()
         self.monitor = SimulationMonitor(self, registry) \
             if registry is not None else None
+
+        # Opt-in online meta-control: chains onto the same epoch hook
+        # *after* the monitor, so snapshots capture each epoch's state
+        # before the parameters move.  None (default) attaches nothing.
+        self.meta: Optional[MetaController] = None
+        if s.meta_controller is not None:
+            self.meta = MetaController(s.meta_controller).attach(self)
 
     def _sample(self) -> None:
         losses = self.bottleneck_queue.sample_losses(self.sim.now)

@@ -6,14 +6,17 @@ A2 — p_thr sweep: the utility/robustness trade-off of Section 4.3
      (optimistic p_thr -> 1 vs pessimistic p_thr -> p).
 A3 — WRR weight sweep: PELS throughput share tracks its configured
      weight (administrative fairness knob of Section 4.1).
-A4 — red buffer sweep: red-survivor delay vs red-loss measurement
-     granularity.
+A4 — adaptive meta-control: PID-tuned vs paper-fixed parameters under
+     router restart, flow churn and LRD cross traffic (extension; see
+     experiments/meta_control.py).
 A5 — controller comparison: MKC vs AIMD vs TFRC driving the same PELS
      machinery (smoothness argument of Section 5).
 A6 — two-priority variant: removing the red probing band (QBSS-like)
      collapses utility — why PELS needs three colors.
 A7 — robustness: ACK loss tolerance (epoch freshness) and live WRR
      share renegotiation (the Section 4.1 administrative knob).
+A8 — red buffer sweep: red-survivor delay vs red-loss measurement
+     granularity.
 """
 
 from __future__ import annotations
@@ -26,10 +29,12 @@ from ..core.pels_queue import PelsQueueConfig
 from ..core.session import PelsScenario, PelsSimulation
 from ..sim.packet import Color
 from .common import ExperimentResult
+from .meta_control import run as run_meta_control
 
 __all__ = ["run_sigma_sweep", "run_pthr_sweep", "run_wrr_sweep",
-           "run_red_buffer_sweep", "run_controller_comparison",
-           "run_two_priority", "run_robustness", "run", "ABLATIONS"]
+           "run_meta_control", "run_red_buffer_sweep",
+           "run_controller_comparison", "run_two_priority",
+           "run_robustness", "run", "ABLATIONS"]
 
 
 def run_sigma_sweep(fast: bool = False) -> ExperimentResult:
@@ -104,8 +109,8 @@ def run_wrr_sweep(fast: bool = False) -> ExperimentResult:
 
 
 def run_red_buffer_sweep(fast: bool = False) -> ExperimentResult:
-    """A4: red buffer size vs red delay (loss is buffer-independent)."""
-    result = ExperimentResult("A4", "red buffer sweep")
+    """A8: red buffer size vs red delay (loss is buffer-independent)."""
+    result = ExperimentResult("A8", "red buffer sweep")
     duration = 40.0 if fast else 80.0
     warmup = duration / 2
     rows = []
@@ -250,10 +255,11 @@ ABLATIONS = {
     "A1": run_sigma_sweep,
     "A2": run_pthr_sweep,
     "A3": run_wrr_sweep,
-    "A4": run_red_buffer_sweep,
+    "A4": run_meta_control,
     "A5": run_controller_comparison,
     "A6": run_two_priority,
     "A7": run_robustness,
+    "A8": run_red_buffer_sweep,
 }
 
 

@@ -1,0 +1,258 @@
+"""A4 — adaptive meta-control: PID-tuned vs paper-fixed parameters.
+
+Three stress scenarios, each run twice with identical seeds — once with
+the paper's frozen parameters and once with the online meta-controller
+(:mod:`repro.control`) attached:
+
+* **correlated outage + router restart** (R1-style chaos): the
+  bottleneck link is cut for several seconds and its feedback process
+  reboots — sources starve past the feedback timeout, go blind and
+  decay exponentially, so by restoration the rates sit far below the
+  oracle.  The tuned arm must re-converge to within ±2% of the Lemma 6
+  oracle in fewer epochs than the fixed arm: the rate loop winds
+  MKC's alpha up while the convergence error is large, steepening the
+  additive recovery ramp, then releases the boost as the error closes.
+* **flow churn**: one flow departs and later re-joins at the initial
+  rate.  MKC's own max-min convergence closes the resulting rate gap
+  only at ``(1 - beta p)`` per loss epoch, so the fixed arm carries a
+  persistent fairness imbalance into its tail; the tuned arm's
+  per-flow rate loops must equalize it (strictly lower tail error).
+* **LRD cross traffic**: the backlogging CBR is replaced by the
+  heavy-tailed Pareto-burst VBR source, so the best-effort load — and
+  with it the instantaneous PELS service — wanders on all timescales.
+  Steady-state equilibrium error of the tuned arm must be no worse
+  than the fixed arm's (the meta-controller's fixed point is the
+  paper's operating point, so quiet plants converge back to it).
+
+All comparisons use the *paper-fixed* oracle ``r*0``: the tuned arm is
+not allowed to move its own goalposts.  Re-convergence is measured on
+an epoch-cadence probe of the controllers' instantaneous rates (a
+deterministic :class:`~repro.faults.injectors.Callback` schedule,
+installed identically in both arms): the per-frame ``rate_series``
+samples are ~22 epochs apart, far too coarse to resolve the ramp.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cc.mkc import mkc_stationary_rate
+from ..control.meta import MetaControllerConfig
+from ..core.session import PelsScenario, PelsSimulation
+from ..faults import (Callback, FaultSchedule, FlowJoin, FlowLeave,
+                      LinkFlap, RouterRestart)
+from .common import ExperimentResult, check
+
+__all__ = ["run", "FEEDBACK_TIMEOUT", "OUTAGE_S"]
+
+#: Source starvation timeout (s): outages beyond this trip blind mode,
+#: as in the R1 chaos suite.
+FEEDBACK_TIMEOUT = 1.0
+
+#: Bottleneck outage length (s) of the correlated-failure phase: long
+#: enough for several blind-decay frames, so restoration finds the
+#: rates deep below the oracle and the recovery ramp is material.
+OUTAGE_S = 5.0
+
+#: Rate-probe cadence (s) — one sample per feedback epoch.
+PROBE_INTERVAL = 0.03
+
+
+def _scenario(duration: float, seed: int,
+              tuned: bool, cross: str = "cbr") -> PelsScenario:
+    return PelsScenario(
+        n_flows=2, duration=duration, seed=seed, cross_traffic=cross,
+        feedback_timeout=FEEDBACK_TIMEOUT,
+        meta_controller=MetaControllerConfig() if tuned else None)
+
+
+def _r_star(scenario: PelsScenario) -> float:
+    return mkc_stationary_rate(scenario.pels_capacity_bps(),
+                               scenario.n_flows, scenario.alpha_bps,
+                               scenario.beta)
+
+
+def _install_rate_probes(sim: PelsSimulation, schedule: FaultSchedule,
+                         t0: float, t1: float) -> List[Tuple[float, List[float]]]:
+    """Arm an epoch-cadence probe of the live controllers' rates.
+
+    Returns the (initially empty) sample list the probes append to.
+    The probe reads the instantaneous MKC rate of every *active* flow —
+    stopped flows hold their last rate and would poison the settle
+    measurement during a churn gap.  Identical schedules go into both
+    arms, so the probe events perturb (or not) both runs equally.
+    """
+    samples: List[Tuple[float, List[float]]] = []
+
+    def probe() -> None:
+        rates = [src.controller.rate_bps for src in sim.sources
+                 if not src._stopped]
+        if rates:
+            samples.append((sim.sim.now, rates))
+
+    steps = int(round((t1 - t0) / PROBE_INTERVAL))
+    for i in range(steps + 1):
+        schedule.add(t0 + i * PROBE_INTERVAL,
+                     Callback(probe, label="probe:rates"))
+    return samples
+
+
+def _probe_settle(samples: List[Tuple[float, List[float]]], r_star: float,
+                  band: float = 0.02, population: bool = False,
+                  smooth_s: float = 1.0) -> Optional[float]:
+    """Earliest probe time from which the smoothed rates stay within
+    ``band`` of r*.
+
+    Per-flow by default, on the population mean with
+    ``population=True`` (churn: max-min fairness equalizes much more
+    slowly than the aggregate recovers, and Lemma 6 speaks about the
+    population operating point).  Each series is smoothed with a
+    trailing ``smooth_s`` moving average first: the per-epoch MKC
+    sawtooth (additive ramp, multiplicative cut on each loss epoch)
+    swings ±3% around the operating point, so raw samples would never
+    settle into a ±2% band — re-convergence is a statement about the
+    operating point, not about individual epochs.
+    """
+    vecs = [(t, [sum(rates) / len(rates)] if population else rates)
+            for t, rates in samples]
+    n_flows = max((len(v) for _, v in vecs), default=0)
+    vecs = [(t, v) for t, v in vecs if len(v) == n_flows]
+    window = max(1, int(round(smooth_s / PROBE_INTERVAL)))
+    sums = [0.0] * n_flows
+    smoothed: List[Tuple[float, List[float]]] = []
+    for i, (t, v) in enumerate(vecs):
+        for j in range(n_flows):
+            sums[j] += v[j]
+            if i >= window:
+                sums[j] -= vecs[i - window][1][j]
+        k = min(i + 1, window)
+        smoothed.append((t, [s / k for s in sums]))
+    settle = None
+    for t, rates in reversed(smoothed):
+        if any(abs(r - r_star) > band * r_star for r in rates):
+            break
+        settle = t
+    return settle
+
+
+def _tail_error(sim: PelsSimulation, t_tail: float, r_star: float) -> float:
+    """Mean relative distance of the tail-mean rates from r*."""
+    errs = [abs(src.rate_series.mean(t_tail, float("inf")) - r_star) / r_star
+            for src in sim.sources]
+    return sum(errs) / len(errs)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    duration = 40.0 if fast else 80.0
+    t_fault = duration / 2
+    result = ExperimentResult(
+        "A4", "adaptive meta-control: PID-tuned vs paper-fixed "
+              "(extension)")
+    base = _scenario(duration, seed=1, tuned=False)
+    r_star = _r_star(base)
+    epoch = base.feedback_interval
+
+    # -- correlated outage + restart: reconvergence speed ---------------
+    restart_rows = []
+    reconv = {}
+    t_restore = t_fault + OUTAGE_S
+    for arm in ("fixed", "tuned"):
+        scenario = _scenario(duration, seed=1, tuned=arm == "tuned")
+        sim = PelsSimulation(scenario)
+        schedule = FaultSchedule().add(
+            t_fault, LinkFlap(sim.barbell.bottleneck, OUTAGE_S)).add(
+            t_fault, RouterRestart(sim.feedback))
+        probes = _install_rate_probes(sim, schedule, t_fault,
+                                      duration - 1.0)
+        schedule.install(sim.sim)
+        sim.run()
+        settle = _probe_settle(probes, r_star)
+        epochs = (settle - t_restore) / epoch if settle is not None \
+            else float("inf")
+        reconv[arm] = epochs
+        tail = _tail_error(sim, duration - 10.0, r_star)
+        adjustments = sim.meta.adjustments if sim.meta else 0
+        restart_rows.append((arm, round(epochs, 1),
+                             round(tail * 100, 2), adjustments))
+        result.metrics[f"reconv_epochs_{arm}"] = epochs
+        result.metrics[f"restart_tail_err_{arm}"] = tail
+    restart_rows.append(("speedup",
+                         round(reconv["fixed"] / reconv["tuned"], 2)
+                         if reconv["tuned"] else float("inf"), "", ""))
+    result.add_table(
+        ["arm", "reconv epochs (±2%)", "tail err %", "adjustments"],
+        restart_rows,
+        title=f"Outage ({OUTAGE_S:.0f}s) + router restart at "
+              f"t={t_fault:.0f}s (r* = {r_star / 1e3:.0f} kb/s, epochs "
+              f"counted from restoration)")
+    check(result, "reconv_epochs_tuned_vs_fixed", reconv["tuned"],
+          min(reconv["tuned"], reconv["fixed"]), rel_tol=1e-9)
+
+    # -- flow churn: leave then re-join ---------------------------------
+    churn_rows = []
+    churn_err = {}
+    t_leave, t_join = duration * 0.3, t_fault
+    for arm in ("fixed", "tuned"):
+        scenario = _scenario(duration, seed=1, tuned=arm == "tuned")
+        sim = PelsSimulation(scenario)
+        schedule = FaultSchedule().add(
+            t_leave, FlowLeave(sim.sources[1])).add(
+            t_join, FlowJoin(sim.sources[1], scenario.initial_rate_bps))
+        probes = _install_rate_probes(sim, schedule, t_join,
+                                      duration - 1.0)
+        schedule.install(sim.sim)
+        sim.run()
+        settle = _probe_settle(probes, r_star, population=True)
+        epochs = (settle - t_join) / epoch if settle is not None \
+            else float("inf")
+        tail = _tail_error(sim, duration - 10.0, r_star)
+        churn_err[arm] = tail
+        churn_rows.append((arm, round(epochs, 1), round(tail * 100, 2)))
+        result.metrics[f"churn_reconv_epochs_{arm}"] = epochs
+        result.metrics[f"churn_tail_err_{arm}"] = tail
+    result.add_table(
+        ["arm", "re-join reconv epochs (mean ±2%)", "tail err %"],
+        churn_rows,
+        title=f"Flow churn: leave t={t_leave:.0f}s, re-join "
+              f"t={t_join:.0f}s")
+    # The per-flow loops must equalize the post-rejoin max-min
+    # imbalance the fixed arm is left with (reconv epochs of the
+    # population mean are reported but not gated: the smoothed band
+    # entry has ~1s granularity, inside measurement noise here).
+    check(result, "churn_tail_err_tuned", churn_err["tuned"],
+          min(churn_err["tuned"], churn_err["fixed"]), rel_tol=0.02)
+
+    # -- LRD cross traffic: steady-state error --------------------------
+    lrd_rows = []
+    lrd_err = {}
+    for arm in ("fixed", "tuned"):
+        scenario = _scenario(duration, seed=1, tuned=arm == "tuned",
+                             cross="lrd")
+        sim = PelsSimulation(scenario).run()
+        tail = _tail_error(sim, duration / 2, r_star)
+        sigma_now = sim.sources[0].gamma_controller.sigma
+        lrd_err[arm] = tail
+        lrd_rows.append((arm, round(tail * 100, 2), round(sigma_now, 3)))
+        result.metrics[f"lrd_tail_err_{arm}"] = tail
+    result.add_table(
+        ["arm", "tail err % vs r*0", "final sigma"], lrd_rows,
+        title="Pareto-burst (LRD) cross traffic, no faults")
+    # Equilibrium no worse than fixed, within measurement noise.
+    check(result, "lrd_tail_err_tuned", lrd_err["tuned"],
+          min(lrd_err["tuned"], lrd_err["fixed"] + 0.01), rel_tol=0.02)
+
+    result.note("Each flow has its own rate PID: while the post-outage "
+                "error is large its alpha winds up (faster additive "
+                "ramp), and any flow drifting off the oracle gets an "
+                "opposing per-flow correction — visible in the churn "
+                "tail error, where the fixed arm is left with a "
+                "persistent max-min imbalance the tuned arm equalizes "
+                "away.  The leaky integrals unwind as rates settle, so "
+                "steady state returns to the paper's operating point.")
+    result.note("All errors are measured against the paper-fixed Lemma 6 "
+                "oracle r*0; tuning never moves its own setpoint.")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=True).render())

@@ -25,8 +25,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..cc.mkc import mkc_equilibrium_loss, mkc_stationary_rate
+from ..control.meta import MetaController, MetaControllerConfig
 from ..core.clock import WallClock
 from ..core.pels_queue import PelsQueueConfig
+from ..obs.monitor import EpochObservation
 from ..core.report import FlowReport, SessionReport
 from ..obs.trace import current_tracer
 from ..sim.packet import Color
@@ -88,6 +90,15 @@ class LiveConfig:
     #: timings still vary run to run, the *schedule* does not.
     seed: Optional[int] = None
 
+    #: Online meta-control (``pels live --tune``): a periodic task
+    #: samples the flows and router and PID-tunes alpha/sigma through
+    #: the same seam the simulator uses.  Off by default.
+    tune: bool = False
+    tune_config: Optional[MetaControllerConfig] = None
+    #: Wall seconds between tuner samples (the PID's own
+    #: update-interval gating still applies on top).
+    tune_interval: float = 0.25
+
     def pels_capacity_bps(self) -> float:
         """The PELS share of the bottleneck (``C`` of Eq. 11)."""
         return self.bottleneck_bps * self.queue.pels_share()
@@ -120,6 +131,8 @@ class LiveSessionResult:
     router: LiveRouter
     #: Wall-clock seconds actually elapsed (session clock at teardown).
     elapsed: float
+    #: The meta-controller when the run was tuned (``tune=True``).
+    meta: Optional[MetaController] = None
 
     def psnr(self, flow_id: int) -> PsnrResult:
         """Offline PSNR reconstruction for one flow (Section 6.5).
@@ -140,6 +153,29 @@ class LiveSessionResult:
         trace = generate_foreman_like(n_frames=max(1, flow.frames_sent))
         return reconstruct_psnr(trace, receptions,
                                 packet_size=self.config.fgs.packet_size)
+
+
+def _live_observation(server: LiveServer, router: LiveRouter,
+                      r_star: float, now: float) -> EpochObservation:
+    """The live counterpart of :func:`repro.obs.monitor.observe_epoch`."""
+    flows = list(server.flows.values())
+    rates = tuple(flow.controller.rate_bps for flow in flows)
+    mean_rate = sum(rates) / len(rates) if rates else 0.0
+    conv = (mean_rate - r_star) / r_star if r_star else 0.0
+    max_abs = max((abs(r - r_star) / r_star for r in rates),
+                  default=0.0) if r_star else 0.0
+    loss = router.feedback.loss
+    gammas = [flow.gamma_controller for flow in flows]
+    mean_gamma = sum(g.gamma for g in gammas) / len(gammas) if gammas else 0.0
+    clamped = max(0.0, loss)
+    innovation = sum(abs(g.expected_fixed_point(clamped) - g.gamma)
+                     for g in gammas) / len(gammas) if gammas else 0.0
+    drops = {color.name.lower(): router.drops[color]
+             for color in (Color.GREEN, Color.YELLOW, Color.RED)}
+    return EpochObservation(
+        t=now, r_star=r_star, rates_bps=rates, mean_rate_bps=mean_rate,
+        conv_error=conv, max_abs_conv_error=max_abs, virtual_loss=loss,
+        mean_gamma=mean_gamma, gamma_innovation=innovation, drops=drops)
 
 
 async def _run(config: LiveConfig) -> LiveSessionResult:
@@ -177,6 +213,31 @@ async def _run(config: LiveConfig) -> LiveSessionResult:
 
     router.start()
     server.start()
+
+    meta: Optional[MetaController] = None
+    tuner: Optional[asyncio.Task] = None
+    if config.tune:
+        meta = MetaController(config.tune_config or MetaControllerConfig())
+        r_star = config.lemma6_rate_bps()
+        bound_meta = meta
+
+        async def _tune_loop() -> None:
+            bound = False
+            while True:
+                await asyncio.sleep(config.tune_interval)
+                flows = list(server.flows.values())
+                if not flows:
+                    continue
+                if not bound:
+                    bound_meta.bind(
+                        [flow.controller for flow in flows],
+                        [flow.gamma_controller for flow in flows], r_star)
+                    bound = True
+                obs = _live_observation(server, router, r_star, clock.now)
+                bound_meta.step(obs, clock.now)
+
+        tuner = asyncio.ensure_future(_tune_loop())
+
     try:
         await asyncio.sleep(config.duration)
         await server.stop()
@@ -184,6 +245,8 @@ async def _run(config: LiveConfig) -> LiveSessionResult:
         # clock stops; the router keeps serving during the drain.
         await asyncio.sleep(config.drain)
     finally:
+        if tuner is not None:
+            tuner.cancel()
         await server.stop()
         await router.stop()
         elapsed = clock.now
@@ -191,7 +254,7 @@ async def _run(config: LiveConfig) -> LiveSessionResult:
         router_transport.close()
         client_transport.close()
     return LiveSessionResult(config=config, server=server, client=client,
-                             router=router, elapsed=elapsed)
+                             router=router, elapsed=elapsed, meta=meta)
 
 
 def run_live_session(config: Optional[LiveConfig] = None

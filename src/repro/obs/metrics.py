@@ -15,6 +15,7 @@ already active, so default runs carry zero instrumentation state.
 
 from __future__ import annotations
 
+import copy
 import json
 from bisect import bisect_right
 from collections import deque
@@ -151,9 +152,16 @@ class MetricsRegistry:
         }
 
     def snapshot(self, t: float) -> dict:
-        """Record (and return) a snapshot of all instruments at time t."""
+        """Record (and return) a snapshot of all instruments at time t.
+
+        The returned dict and the ring entry are independent deep
+        copies: callers routinely post-process the return value
+        (normalizing units, annotating), and before the copy was added
+        those mutations silently corrupted the ring entry — histogram
+        bucket lists included — that ``write_jsonl`` later exports.
+        """
         record = {"t": t, **self.values()}
-        self.snapshots.append(record)
+        self.snapshots.append(copy.deepcopy(record))
         return record
 
     def jsonl_lines(self) -> Iterator[str]:

@@ -23,11 +23,85 @@ Sessions attach a monitor automatically when a registry is active (see
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from ..cc.mkc import mkc_stationary_rate
 from .metrics import MetricsRegistry
 
-__all__ = ["SimulationMonitor"]
+__all__ = ["SimulationMonitor", "EpochObservation", "observe_epoch"]
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """One epoch's view of the control plane, as the obs layer sees it.
+
+    This is the interface between observation and adaptation: the
+    :class:`SimulationMonitor` records these quantities as gauges, and
+    the meta-controller (:mod:`repro.control.meta`) consumes the same
+    structure to drive its PID loops — simulator and live stack alike.
+    """
+
+    t: float
+    #: The paper-fixed Lemma 6 oracle ``r* = C/N + alpha0/beta0``.
+    r_star: float
+    rates_bps: Tuple[float, ...]
+    mean_rate_bps: float
+    #: Signed convergence error ``(mean_rate - r*) / r*`` — negative
+    #: while flows are below the oracle (e.g. after a router restart).
+    conv_error: float
+    max_abs_conv_error: float
+    #: Latest Eq. 11 virtual loss (max across hops).
+    virtual_loss: float
+    mean_gamma: float
+    #: Mean distance of each flow's gamma from its Lemma 4 fixed point
+    #: under the current loss — ~0 once the gamma loop has converged.
+    gamma_innovation: float
+    #: Cumulative drops per color, summed over hops.
+    drops: Dict[str, int] = field(default_factory=dict)
+    #: Mean end-to-end delay per color (seconds), where measured.
+    delays_s: Dict[str, float] = field(default_factory=dict)
+
+
+def observe_epoch(assembly, queues, feedbacks, r_star: float,
+                  t: float) -> EpochObservation:
+    """Build an :class:`EpochObservation` from an assembled simulation."""
+    sources = assembly.sources
+    rates = tuple(source.rate_bps for source in sources)
+    mean_rate = sum(rates) / len(rates) if rates else 0.0
+    conv = (mean_rate - r_star) / r_star if r_star else 0.0
+    max_abs = max((abs(r - r_star) / r_star for r in rates),
+                  default=0.0) if r_star else 0.0
+
+    loss = max((fb.loss for fb in feedbacks), default=0.0)
+    gammas = [source.gamma_controller for source in sources
+              if getattr(source, "gamma_controller", None) is not None]
+    mean_gamma = sum(g.gamma for g in gammas) / len(gammas) if gammas else 0.0
+    clamped_loss = max(0.0, loss)
+    innovation = sum(abs(g.expected_fixed_point(clamped_loss) - g.gamma)
+                     for g in gammas) / len(gammas) if gammas else 0.0
+
+    drops = {"green": 0, "yellow": 0, "red": 0, "internet": 0}
+    for queue in queues:
+        drops["green"] += queue.green_queue.stats.drops
+        drops["yellow"] += queue.yellow_queue.stats.drops
+        drops["red"] += queue.red_queue.stats.drops
+        drops["internet"] += queue.internet_queue.stats.drops
+
+    delays: Dict[str, float] = {}
+    sinks = getattr(assembly, "sinks", None) or ()
+    if sinks:
+        probes = getattr(sinks[0], "delay_probes", None)
+        if probes:
+            for color, probe in probes.items():
+                if probe.count:
+                    delays[color.name.lower()] = probe.mean
+
+    return EpochObservation(
+        t=t, r_star=r_star, rates_bps=rates, mean_rate_bps=mean_rate,
+        conv_error=conv, max_abs_conv_error=max_abs, virtual_loss=loss,
+        mean_gamma=mean_gamma, gamma_innovation=innovation,
+        drops=drops, delays_s=delays)
 
 
 class SimulationMonitor:
@@ -86,6 +160,20 @@ class SimulationMonitor:
             gauge(f"{prefix}.conv_err").set(abs(rate - r_star) / r_star)
             gauge(f"{prefix}.stale_discarded").set(
                 source.tracker.stale_discarded)
+
+        # Aggregate control-plane view: the same structure the
+        # meta-controller consumes, recorded so tuned runs can be
+        # audited epoch-by-epoch from the snapshot ring.
+        obs = observe_epoch(self.assembly, self.queues, self.feedbacks,
+                            r_star, sim.now)
+        gauge("control.conv_err").set(obs.conv_error)
+        gauge("control.virtual_loss").set(obs.virtual_loss)
+        gauge("control.mean_gamma").set(obs.mean_gamma)
+        gauge("control.gamma_innovation").set(obs.gamma_innovation)
+        for color, count in obs.drops.items():
+            gauge(f"drops.{color}").set(count)
+        for color, delay in obs.delays_s.items():
+            gauge(f"delay.{color}_ms").set(delay * 1000)
 
         depth = sim.pending()
         gauge("engine.heap_depth").set(depth)

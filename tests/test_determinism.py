@@ -86,7 +86,7 @@ class TestRunnerDeterminism:
         assert [r.experiment_id for r in results] == ["A1"]
 
     def test_ablation_registry_is_complete(self):
-        assert list(ablations.ABLATIONS) == [f"A{i}" for i in range(1, 8)]
+        assert list(ablations.ABLATIONS) == [f"A{i}" for i in range(1, 9)]
 
     def test_worker_process_matches_in_process_run(self):
         serial = _run_one("A1", True)
@@ -138,6 +138,50 @@ class TestInstrumentationDeterminism:
                                    "--metrics-out", str(pooled)]) == 0
         capsys.readouterr()
         assert serial.read_bytes() == pooled.read_bytes()
+
+
+class TestMetaControlDeterminism:
+    """Online tuning must preserve both determinism properties: a
+    tuned run is a pure function of (scenario, seed) across process
+    boundaries, and an attached-but-idle meta-controller perturbs
+    nothing."""
+
+    def test_a4_identical_serial_and_pooled(self):
+        serial = _run_one("A4", True)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pooled = pool.submit(_run_one, "A4", True).result()
+        assert pooled.render() == serial.render()
+        assert pooled.metrics == serial.metrics
+
+    def test_disabled_meta_is_event_identical_to_none(self):
+        from repro.control import MetaControllerConfig
+
+        base = dict(n_flows=2, duration=6.0, seed=7)
+        plain = _fingerprint(PelsSimulation(PelsScenario(**base)).run())
+        idle = PelsSimulation(PelsScenario(
+            **base, meta_controller=MetaControllerConfig(
+                tune_rate=False, tune_gamma=False,
+                tune_wrr=False))).run()
+        assert idle.meta is not None
+        assert idle.meta.steps > 0
+        assert idle.meta.adjustments == 0
+        assert _fingerprint(idle) == plain
+
+    def test_tuned_run_reproduces_across_processes(self):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pooled = pool.submit(_tuned_fingerprint).result()
+        assert _tuned_fingerprint() == pooled
+
+
+def _tuned_fingerprint() -> dict:
+    from repro.control import MetaControllerConfig
+
+    scenario = PelsScenario(n_flows=2, duration=6.0, seed=7,
+                            meta_controller=MetaControllerConfig())
+    sim = PelsSimulation(scenario).run()
+    fp = _fingerprint(sim)
+    fp["adjustment_log"] = sim.meta.backend.history()
+    return fp
 
 
 class TestFaultedRunDeterminism:

@@ -141,6 +141,28 @@ class TestMetrics:
         with pytest.raises(ValueError):
             MetricsRegistry(snapshot_capacity=0)
 
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        # The returned dict and the ring entry must be independent deep
+        # copies: callers aggregate into the returned snapshot (summing
+        # histogram buckets across runs), and a shared reference would
+        # silently corrupt the archived ring entry.
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("lat", bounds=(1.0,)).observe(0.5)
+        returned = registry.snapshot(1.0)
+        ring = registry.snapshots[-1]
+        assert returned == ring and returned is not ring
+
+        returned["counters"]["hits"] = 999
+        returned["histograms"]["lat"]["buckets"][0] += 7
+        assert ring["counters"]["hits"] == 3
+        assert ring["histograms"]["lat"]["buckets"] == [1, 0]
+
+        ring["histograms"]["lat"]["buckets"][0] = -1
+        assert returned["histograms"]["lat"]["buckets"] == [8, 0]
+        # and neither touched the live instruments
+        assert registry.counter("hits").to_value() == 3
+
     def test_jsonl_export(self, tmp_path):
         registry = MetricsRegistry()
         registry.gauge("queue.depth").set(7)
