@@ -6,6 +6,11 @@ Installed as the ``pels`` console script::
     pels live --flows 2 --duration 5               # wall-clock UDP session
     pels fluid --flows 1000 --duration 120         # fluid-model fast path
     pels experiments --fast --only T1,F7,S1        # regenerate artifacts
+    pels experiments --list                        # discover artifact keys
+    pels serve --workers 3 --storage runs/ --port 7475   # fleet service
+    pels submit A4 S2 --fast --wait                # jobs via the service
+    pels status                                    # service health
+    pels artifacts <job-id> --out artifact.json    # fetch a result
     pels analyze --loss 0.1 --frame 100            # closed-form numbers
     pels trace --frames 300 --out trace.json       # synthetic Foreman
 
@@ -168,10 +173,75 @@ def build_parser() -> argparse.ArgumentParser:
                           "$REPRO_FLUID_BACKEND)")
     fld.add_argument("--json", default="", help="write summary JSON here")
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the experiment-fleet service (job queue + workers + "
+             "HTTP API + live metric streaming)",
+        description="Long-running control plane over the experiment "
+                    "fleet: submit experiment jobs over HTTP, N worker "
+                    "processes pull from a persistent queue (heartbeats, "
+                    "stale-job requeue, crash-isolated execution), "
+                    "artifacts and baselines persist in the storage "
+                    "directory, and obs metric snapshots stream to "
+                    "subscribed clients while jobs run.")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="worker processes pulling from the queue")
+    srv.add_argument("--storage", default="pels-service", metavar="DIR",
+                     help="persistent storage directory (jobs, artifacts, "
+                          "baselines, streams)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7475,
+                     help="HTTP port (0 = ephemeral)")
+    srv.add_argument("--heartbeat-timeout", type=float, default=2.0,
+                     metavar="S", help="heartbeat silence before a "
+                     "running job is requeued")
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit experiment jobs to a running pels service")
+    sbm.add_argument("experiments", nargs="+", metavar="KEY",
+                     help="registry keys to submit (see pels experiments "
+                          "--list)")
+    sbm.add_argument("--fast", action="store_true",
+                     help="submit CI-sized runs")
+    sbm.add_argument("--priority", type=int, default=0)
+    sbm.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-attempt wall-clock budget")
+    sbm.add_argument("--retries", type=int, default=1, metavar="N")
+    sbm.add_argument("--host", default="127.0.0.1")
+    sbm.add_argument("--port", type=int, default=7475)
+    sbm.add_argument("--wait", action="store_true",
+                     help="block until the submitted jobs settle")
+    sbm.add_argument("--json", default="", help="write job records here")
+
+    sts = sub.add_parser(
+        "status",
+        help="service health and job states (optionally one job)")
+    sts.add_argument("job", nargs="?", default="",
+                     help="job id (omit for the whole service)")
+    sts.add_argument("--state", default="",
+                     help="filter the job list by state")
+    sts.add_argument("--host", default="127.0.0.1")
+    sts.add_argument("--port", type=int, default=7475)
+    sts.add_argument("--json", default="", help="write the status here")
+
+    art = sub.add_parser(
+        "artifacts",
+        help="list stored artifacts, or fetch one job's artifact")
+    art.add_argument("job", nargs="?", default="",
+                     help="job id to fetch (omit to list)")
+    art.add_argument("--host", default="127.0.0.1")
+    art.add_argument("--port", type=int, default=7475)
+    art.add_argument("--out", default="", metavar="PATH",
+                     help="write the fetched artifact JSON here")
+
     exp = sub.add_parser("experiments",
                          help="regenerate the paper's tables and figures")
     exp.add_argument("--fast", action="store_true")
     exp.add_argument("--only", default="")
+    exp.add_argument("--list", action="store_true",
+                     help="list runnable artifact keys with one-line "
+                          "descriptions and exit")
     exp.add_argument("--no-ablations", action="store_true")
     exp.add_argument("--jobs", type=int, default=1, metavar="N")
     exp.add_argument("--chunk", type=int, default=None, metavar="M")
@@ -547,6 +617,127 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.api import ServiceConfig, serve
+
+    if args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    config = ServiceConfig(storage_dir=args.storage, workers=args.workers,
+                           host=args.host, port=args.port,
+                           heartbeat_timeout=args.heartbeat_timeout)
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        print("-- service stopped --")
+    return 0
+
+
+def _service_client(args):
+    from .service.client import ServiceClient
+    return ServiceClient(args.host, args.port)
+
+
+def _cmd_submit(args) -> int:
+    from .service.client import ServiceError
+
+    client = _service_client(args)
+    batch = [{"key": key, "fast": args.fast, "priority": args.priority,
+              "timeout": args.timeout, "retries": args.retries}
+             for key in args.experiments]
+    try:
+        jobs = client.submit(batch)
+    except (ServiceError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    for job in jobs:
+        print(f"{job['job_id']}  {job['params']['key']:<4} "
+              f"{job['state']}")
+    if args.wait:
+        final = client.wait([job["job_id"] for job in jobs])
+        for job_id, record in final.items():
+            print(f"{job_id}  {record['params']['key']:<4} "
+                  f"{record['state']}"
+                  + (f"  ({record['error']})" if record.get("error")
+                     else ""))
+        jobs = list(final.values())
+        if any(record["state"] != "done" for record in jobs):
+            return 1
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"jobs": jobs}, handle, indent=2)
+        print(f"  job records written to {args.json}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from .service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job:
+            payload = client.job(args.job)
+            print(f"{payload['job_id']}  {payload['params'].get('key')}  "
+                  f"{payload['state']}  attempts={payload['attempts']} "
+                  f"requeues={payload['requeues']}"
+                  + (f"  error={payload['error']}" if payload.get("error")
+                     else ""))
+        else:
+            payload = client.health()
+            jobs = payload["jobs"]
+            print(f"service ok, up {payload['uptime']:.0f}s; jobs: "
+                  + ", ".join(f"{state} {count}"
+                              for state, count in sorted(jobs.items())
+                              if count))
+            for worker_id, info in sorted(payload["workers"].items()):
+                age = info.get("beat_age")
+                print(f"  {worker_id}: "
+                      f"{'alive' if info['alive'] else 'dead'} "
+                      f"pid={info['pid']}"
+                      + (f" beat {age:.1f}s ago" if age is not None
+                         else "")
+                      + (f" job={info['job']}" if info.get("job") else ""))
+            if args.state:
+                for job in client.jobs(args.state):
+                    print(f"  {job['job_id']}  {job['params'].get('key')}"
+                          f"  {job['state']}")
+    except (ServiceError, OSError) as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"  status written to {args.json}")
+    return 0
+
+
+def _cmd_artifacts(args) -> int:
+    from .service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if not args.job:
+            for artifact_id in client.artifacts():
+                print(artifact_id)
+            return 0
+        artifact = client.artifact(args.job)
+    except (ServiceError, OSError) as exc:
+        print(f"artifacts failed: {exc}", file=sys.stderr)
+        return 1
+    text = json.dumps(artifact, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"artifact {artifact.get('experiment_id')} "
+              f"(schema v{artifact.get('schema_version')}) written to "
+              f"{args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_plot(args) -> int:
     from .experiments.ascii_plot import plot_series
 
@@ -603,9 +794,19 @@ def _dispatch(args) -> int:
         return _cmd_trace(args)
     if args.command == "plot":
         return _cmd_plot(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "artifacts":
+        return _cmd_artifacts(args)
     if args.command == "experiments":
         from .experiments.runner import main as experiments_main
         forwarded: List[str] = []
+        if args.list:
+            forwarded.append("--list")
         if args.fast:
             forwarded.append("--fast")
         if args.only:

@@ -1,0 +1,76 @@
+"""Shared exponential-backoff retry policy.
+
+Three layers of the stack retry transient failures with exponential
+backoff: the experiment runner (worker crashes, timeouts), the live
+load generator (gateway registration races) and the service worker
+(job execution).  Each used to carry its own copy of the arithmetic;
+this module is the single source of truth.
+
+Two flavours, both expressed through :func:`backoff_delay`:
+
+* **deterministic** (``rng=None``): ``base * factor**attempt`` — the
+  runner's historical schedule, reproducible byte-for-byte.
+* **jittered** (``rng`` given): the deterministic delay scaled by
+  ``jitter + U[0, 1)`` so a fleet of clients retrying the same
+  contended resource spreads out instead of stampeding in lockstep.
+  With a seeded ``rng`` the schedule is still reproducible (the live
+  gateway tests pin this).
+
+:func:`retry_call` wraps the standard loop — try, classify, sleep,
+try again — for callers that retry whole functions rather than
+weaving the policy into their own control flow.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["backoff_delay", "retry_call"]
+
+T = TypeVar("T")
+
+
+def backoff_delay(attempt: int, base: float, factor: float = 2.0,
+                  rng=None, jitter: float = 0.5) -> float:
+    """Seconds to wait before retrying after 0-based ``attempt``.
+
+    ``base * factor**attempt``, optionally scaled by
+    ``jitter + rng.random()`` (i.e. uniform in ``[jitter, jitter+1)``)
+    when an ``rng`` is supplied.  ``attempt`` counts *failed* attempts
+    so far, so the first retry waits ``base`` (deterministic flavour).
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be non-negative")
+    if base < 0:
+        raise ValueError("base backoff must be non-negative")
+    delay = base * factor ** attempt
+    if rng is not None:
+        delay *= jitter + rng.random()
+    return delay
+
+
+def retry_call(fn: Callable[[], T], *, retries: int, base: float,
+               transient: Tuple[Type[BaseException], ...],
+               factor: float = 2.0, rng=None, jitter: float = 0.5,
+               sleep: Callable[[float], None] = time.sleep,
+               ) -> T:
+    """Call ``fn`` with bounded retry on ``transient`` exceptions.
+
+    Up to ``retries`` retries (``retries + 1`` total attempts); the
+    k-th retry sleeps :func:`backoff_delay` ``(k-1, base, ...)``.
+    Non-transient exceptions — and a transient one on the final
+    attempt — propagate to the caller.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except transient:
+            if attempt >= retries:
+                raise
+            sleep(backoff_delay(attempt, base, factor=factor, rng=rng,
+                                jitter=jitter))
+            attempt += 1

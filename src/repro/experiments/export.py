@@ -15,13 +15,36 @@ from typing import Iterable
 
 from .common import ExperimentResult
 
-__all__ = ["result_to_dict", "result_from_dict", "write_json",
-           "write_series_csv", "metrics_jsonl_lines", "write_metrics_jsonl"]
+__all__ = ["SCHEMA_VERSION", "result_to_dict", "result_from_dict",
+           "write_json", "write_series_csv", "metrics_jsonl_lines",
+           "write_metrics_jsonl"]
+
+#: Version stamped into every exported artifact.  Bump it whenever the
+#: dict layout changes and register an upgrade step in ``_UPGRADES`` —
+#: the service's persistent artifact store replays old artifacts
+#: through :func:`result_from_dict` long after the format moved on.
+#:
+#: History: v1 = unversioned seed format (no ``schema_version`` key);
+#: v2 = v1 plus the version stamp itself.
+SCHEMA_VERSION = 2
+
+
+def _upgrade_v1(payload: dict) -> dict:
+    """v1 -> v2: the layout is unchanged, only the stamp is new."""
+    payload = dict(payload)
+    payload["schema_version"] = 2
+    return payload
+
+
+#: ``version -> upgrade step`` producing ``version + 1``.  Applied in
+#: sequence until the payload reaches :data:`SCHEMA_VERSION`.
+_UPGRADES = {1: _upgrade_v1}
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
     """JSON-serializable view of one experiment result."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "experiment_id": result.experiment_id,
         "title": result.title,
         "tables": list(result.tables),
@@ -39,7 +62,28 @@ def result_from_dict(payload: dict) -> ExperimentResult:
     The runner's ``--resume`` mode uses this to re-render previously
     completed experiments without re-running them; the round trip is
     render-exact (tables/notes are stored as final text).
+
+    Older payloads (missing the stamp = v1) are upgraded in place
+    through the registered steps; a payload from a *newer* writer than
+    this reader raises ``ValueError`` rather than silently dropping
+    fields it cannot interpret.
     """
+    try:
+        version = int(payload.get("schema_version", 1))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"artifact schema_version is not an integer: "
+            f"{payload.get('schema_version')!r}")
+    if version < 1:
+        raise ValueError(f"artifact schema_version {version} is invalid")
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"artifact schema_version {version} is newer than this "
+            f"reader's {SCHEMA_VERSION}; upgrade the repro package to "
+            f"load it")
+    while version < SCHEMA_VERSION:
+        payload = _UPGRADES[version](payload)
+        version += 1
     result = ExperimentResult(payload["experiment_id"], payload["title"])
     result.tables = [str(t) for t in payload.get("tables", [])]
     result.notes = [str(n) for n in payload.get("notes", [])]

@@ -38,10 +38,11 @@ from pathlib import Path
 from . import (ablations, bursts_exp, capacity, chaos, closed_loop_be,
                deadlines, fec_comparison, fig2, fig5, fig7, fig8, fig9,
                fig10, heterogeneous, live_chaos, live_exp, live_load,
-               multihop, rd_smoothing, scaling, table1)
+               multihop, rd_smoothing, scaling, service_exp, table1)
+from ..core.retry import backoff_delay
 from .common import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_all", "main"]
+__all__ = ["EXPERIMENTS", "describe_registry", "run_all", "main"]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "T1": table1.run,
@@ -64,6 +65,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "L1": live_exp.run,
     "L2": live_load.run,
     "L3": live_chaos.run,
+    "SV1": service_exp.run,
 }
 
 _REGISTRY: Optional[Dict[str, Callable[..., ExperimentResult]]] = None
@@ -80,6 +82,30 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         _REGISTRY = dict(EXPERIMENTS)
         _REGISTRY.update(ablations.ABLATIONS)
     return _REGISTRY
+
+
+def describe_registry() -> List[Tuple[str, str]]:
+    """``(key, one-line description)`` for every runnable artifact.
+
+    Descriptions come from docstrings — the experiment module's first
+    line (the canonical "F7 — ..." one-liners), except for ablations
+    where the per-sweep function docstring is the specific one.  This
+    powers ``--list`` and the service API's ``GET /experiments``, so
+    clients can discover submittable jobs without reading source.
+    """
+    import inspect
+    entries: List[Tuple[str, str]] = []
+    for key, fn in _registry().items():
+        module = sys.modules.get(getattr(fn, "__module__", ""), None)
+        module_doc = inspect.getdoc(module) or "" if module else ""
+        fn_doc = inspect.getdoc(fn) or ""
+        if module is not None and module.__name__.endswith(".ablations"):
+            doc = fn_doc or module_doc
+        else:
+            doc = module_doc or fn_doc
+        first = doc.splitlines()[0].strip() if doc else ""
+        entries.append((key, first))
+    return entries
 
 
 def _parse_only(only: str) -> Tuple[List[str], List[str]]:
@@ -224,7 +250,7 @@ def _run_one(key: str, fast: bool, retries: int = 0,
                     key, "transient-error",
                     f"{type(exc).__name__}: {exc}", attempt,
                     time.perf_counter() - t0)
-            time.sleep(backoff * 2 ** (attempt - 1))
+            time.sleep(backoff_delay(attempt - 1, backoff))
         except Exception as exc:
             tail = traceback.format_exc().strip().splitlines()[-3:]
             return _failure_result(
@@ -298,7 +324,7 @@ def _run_isolated(key: str, fast: bool, timeout: Optional[float],
         if attempt > retries:
             return _failure_result(key, failure[0], failure[1], attempt,
                                    time.perf_counter() - t0)
-        time.sleep(backoff * 2 ** (attempt - 1))
+        time.sleep(backoff_delay(attempt - 1, backoff))
 
 
 def _checkpoint_path(out_dir: str, key: str) -> Path:
@@ -444,6 +470,9 @@ def main(argv=None) -> int:
     parser.add_argument("--only", default="",
                         help="run selected artifacts, comma-separated "
                              "(e.g. T1 or T1,F7,S1)")
+    parser.add_argument("--list", action="store_true",
+                        help="list runnable artifact keys with one-line "
+                             "descriptions and exit")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation studies")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -482,6 +511,10 @@ def main(argv=None) -> int:
                         help="skip artifacts already checkpointed in "
                              "--out-dir (failed ones re-run)")
     args = parser.parse_args(argv)
+    if args.list:
+        for key, description in describe_registry():
+            print(f"{key:<4} {description}")
+        return 0
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
     if args.chunk is not None and args.chunk < 1:

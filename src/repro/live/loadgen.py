@@ -59,6 +59,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cc.mkc import mkc_stationary_rate
 from ..core.pels_queue import PelsQueueConfig
+from ..core.retry import backoff_delay
 from ..faults.live import AsyncFaultDriver
 from ..faults.schedule import FaultSchedule
 from ..video.fgs import FgsConfig
@@ -322,7 +323,7 @@ def register_with_retry(gateway: LiveGateway, tenant: str, flow_key: int,
             if last.admitted or last.reason not in _RETRYABLE_REASONS:
                 return last
         if attempt < retries:
-            sleep(backoff * (2 ** attempt) * (0.5 + rng.random()))
+            sleep(backoff_delay(attempt, backoff, rng=rng))
     if last is None:
         last = AdmissionDecision(admitted=False,
                                  reason="registration_error",

@@ -1,0 +1,442 @@
+"""Asyncio HTTP API and service orchestrator (``pels serve``).
+
+Stdlib-only HTTP on ``asyncio.start_server`` — requests are small JSON
+documents, responses are JSON, and the one long-lived route
+(``GET /jobs/<id>/stream``) upgrades to the WebSocket tail in
+:mod:`repro.service.stream` or falls back to offset-based long-polling
+for plain-HTTP clients.
+
+Routes::
+
+    GET  /healthz                 service + worker liveness, queue counts
+    GET  /experiments             submittable registry keys + descriptions
+    POST /jobs                    submit experiment jobs (single or batch)
+    GET  /jobs[?state=S]          list job records
+    GET  /jobs/<id>               one job record
+    POST /jobs/<id>/cancel        cancel (immediate or cooperative)
+    GET  /jobs/<id>/artifact      the stored result artifact
+    GET  /jobs/<id>/stream        live stream (WebSocket or ?offset= poll)
+    GET  /artifacts               artifact ids
+    GET  /baselines               baseline names
+    GET  /baselines/<name>        one baseline
+    PUT  /baselines/<name>        store a baseline
+
+:class:`ExperimentService` owns the rest of the control plane: it
+recovers interrupted jobs from storage on start, spawns the worker
+pool, requeues jobs whose workers stopped heartbeating, and respawns
+dead workers — the queue/storage layer guarantees none of that loses
+or duplicates work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .queue import JOB_STATES, JobQueue
+from .storage import FileStorage
+from .stream import accept_key, stream_job
+from .worker import worker_main
+
+__all__ = ["ServiceConfig", "ExperimentService", "serve"]
+
+_MAX_BODY = 16 << 20
+_MAX_HEADER = 64 << 10
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one ``pels serve`` instance."""
+
+    storage_dir: str
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Seconds of heartbeat silence before a running job is requeued.
+    heartbeat_timeout: float = 2.0
+    #: Cadence of the stale-job / dead-worker sweep.
+    sweep_interval: float = 0.5
+    #: Worker idle poll and heartbeat cadence (forwarded to workers).
+    worker_poll: float = 0.2
+    worker_heartbeat: float = 0.5
+    #: Respawn workers that exit (the pool is supposed to be eternal).
+    respawn_workers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+        if self.heartbeat_timeout <= 0 or self.sweep_interval <= 0:
+            raise ValueError("timeouts must be positive")
+
+
+def _response(status: int, payload: dict, *, reason: str = "") -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode()
+    reasons = {200: "OK", 201: "Created", 400: "Bad Request",
+               404: "Not Found", 405: "Method Not Allowed",
+               409: "Conflict", 413: "Payload Too Large",
+               500: "Internal Server Error"}
+    head = (f"HTTP/1.1 {status} {reason or reasons.get(status, '')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode() + body
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one request: (method, path, lowercase headers, body)."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEADER:
+        raise _HttpError(413, "header block too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY:
+        raise _HttpError(413, f"body of {length} bytes exceeds limit")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+def _json_body(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise _HttpError(400, f"request body is not JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    return payload
+
+
+class ExperimentService:
+    """The long-running control plane: queue + workers + HTTP API."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.storage = FileStorage(config.storage_dir)
+        self.queue = JobQueue(self.storage)
+        self.workers: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sweeper: Optional[asyncio.Task] = None
+        self._worker_seq = 0
+        self.started_at: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ExperimentService":
+        """Recover state, spawn the pool, bind the API socket."""
+        recovered = self.queue.recover()
+        for _ in range(self.config.workers):
+            self._spawn_worker()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self._sweeper = asyncio.ensure_future(self._sweep_loop())
+        self.started_at = time.time()
+        if recovered:
+            # Visible on the serving side: interrupted attempts from a
+            # previous incarnation went back to the queue.
+            print(f"-- recovered {len(recovered)} interrupted job(s) "
+                  f"from {self.config.storage_dir} --")
+        return self
+
+    async def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for proc in self.workers.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.workers.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join()
+        self.workers.clear()
+
+    def _spawn_worker(self) -> str:
+        self._worker_seq += 1
+        worker_id = f"w{self._worker_seq:03d}"
+        ctx = multiprocessing.get_context()
+        # Non-daemonic: jobs spawn their own execution children.
+        proc = ctx.Process(
+            target=worker_main,
+            args=(self.config.storage_dir, worker_id,
+                  self.config.worker_poll, self.config.worker_heartbeat),
+            daemon=False, name=f"pels-worker-{worker_id}")
+        proc.start()
+        self.workers[worker_id] = proc
+        return worker_id
+
+    async def _sweep_loop(self) -> None:
+        """Requeue stale jobs; replace workers that died."""
+        while True:
+            await asyncio.sleep(self.config.sweep_interval)
+            try:
+                self.queue.requeue_stale(self.config.heartbeat_timeout)
+            except OSError:  # pragma: no cover - disk hiccup
+                pass
+            if not self.config.respawn_workers:
+                continue
+            for worker_id, proc in list(self.workers.items()):
+                if not proc.is_alive():
+                    del self.workers[worker_id]
+                    replacement = self._spawn_worker()
+                    print(f"-- worker {worker_id} exited "
+                          f"(exitcode {proc.exitcode}); spawned "
+                          f"{replacement} --")
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, headers, body = await _read_request(reader)
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                    ConnectionError):
+                return
+            except _HttpError as exc:
+                writer.write(_response(exc.status, {"error": exc.message}))
+                await writer.drain()
+                return
+            await self._route(method, target, headers, body,
+                              reader, writer)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - API must not die
+            try:
+                writer.write(_response(500, {
+                    "error": f"{type(exc).__name__}: {exc}"}))
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(self, method: str, target: str,
+                     headers: Dict[str, str], body: bytes,
+                     reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        path, _, query_text = target.partition("?")
+        query: Dict[str, str] = {}
+        for pair in query_text.split("&"):
+            if pair:
+                name, _, value = pair.partition("=")
+                query[name] = value
+        parts = [p for p in path.split("/") if p]
+        try:
+            payload, status = await self._dispatch(
+                method, parts, query, headers, body, reader, writer)
+        except _HttpError as exc:
+            writer.write(_response(exc.status, {"error": exc.message}))
+            await writer.drain()
+            return
+        if payload is None:  # stream route: already handled the socket
+            return
+        writer.write(_response(status, payload))
+        await writer.drain()
+
+    async def _dispatch(self, method: str, parts: List[str],
+                        query: Dict[str, str], headers: Dict[str, str],
+                        body: bytes, reader, writer
+                        ) -> Tuple[Optional[dict], int]:
+        if parts == ["healthz"] and method == "GET":
+            return self._health(), 200
+        if parts == ["experiments"] and method == "GET":
+            from ..experiments.runner import describe_registry
+            return {"experiments": [
+                {"key": key, "description": description}
+                for key, description in describe_registry()]}, 200
+        if parts == ["jobs"]:
+            if method == "POST":
+                return self._submit(_json_body(body)), 201
+            if method == "GET":
+                state = query.get("state") or None
+                if state is not None and state not in JOB_STATES:
+                    raise _HttpError(400, f"unknown state {state!r}; "
+                                          f"have {sorted(JOB_STATES)}")
+                return {"jobs": [job.to_dict()
+                                 for job in self.queue.jobs(state)]}, 200
+            raise _HttpError(405, f"{method} not supported on /jobs")
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return await self._job_routes(method, parts, query,
+                                          headers, reader, writer)
+        if parts == ["artifacts"] and method == "GET":
+            return {"artifacts": self.storage.list_artifact_ids()}, 200
+        if parts == ["baselines"] and method == "GET":
+            return {"baselines": self.storage.list_baseline_names()}, 200
+        if len(parts) == 2 and parts[0] == "baselines":
+            name = parts[1]
+            if method == "GET":
+                baseline = self.storage.load_baseline(name)
+                if baseline is None:
+                    raise _HttpError(404, f"no baseline {name!r}")
+                return baseline, 200
+            if method == "PUT":
+                self.storage.save_baseline(name, _json_body(body))
+                return {"stored": name}, 201
+            raise _HttpError(405, f"{method} not supported on baselines")
+        raise _HttpError(404, f"no route {method} /{'/'.join(parts)}")
+
+    async def _job_routes(self, method: str, parts: List[str],
+                          query: Dict[str, str], headers: Dict[str, str],
+                          reader, writer) -> Tuple[Optional[dict], int]:
+        job_id = parts[1]
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no job {job_id!r}")
+        if len(parts) == 2 and method == "GET":
+            return job.to_dict(), 200
+        if parts[2:] == ["cancel"] and method == "POST":
+            cancelled = self.queue.cancel(job_id)
+            return cancelled.to_dict() if cancelled else job.to_dict(), 200
+        if parts[2:] == ["artifact"] and method == "GET":
+            artifact = self.storage.load_artifact(job_id)
+            if artifact is None:
+                raise _HttpError(
+                    404, f"job {job_id!r} has no artifact yet "
+                         f"(state {job.state})")
+            return artifact, 200
+        if parts[2:] == ["stream"] and method == "GET":
+            try:
+                offset = int(query.get("offset", "0") or "0")
+            except ValueError:
+                raise _HttpError(400, "offset must be an integer")
+            if headers.get("upgrade", "").lower() == "websocket":
+                await self._upgrade_and_stream(headers, reader, writer,
+                                               job_id, offset)
+                return None, 200
+            lines, new_offset = self.storage.read_stream(job_id, offset)
+            current = self.queue.get(job_id)
+            return {"lines": lines, "offset": new_offset,
+                    "state": current.state if current else "unknown",
+                    "done": current is None or current.terminal}, 200
+        raise _HttpError(404, f"no route {method} /{'/'.join(parts)}")
+
+    async def _upgrade_and_stream(self, headers: Dict[str, str],
+                                  reader, writer, job_id: str,
+                                  offset: int) -> None:
+        client_key = headers.get("sec-websocket-key", "")
+        if not client_key:
+            raise _HttpError(400, "missing Sec-WebSocket-Key")
+        writer.write(
+            b"HTTP/1.1 101 Switching Protocols\r\n"
+            b"Upgrade: websocket\r\n"
+            b"Connection: Upgrade\r\n"
+            b"Sec-WebSocket-Accept: "
+            + accept_key(client_key).encode() + b"\r\n\r\n")
+        await writer.drain()
+        await stream_job(reader, writer, self.storage, self.queue,
+                         job_id, offset=offset)
+
+    # -- handlers ----------------------------------------------------------
+
+    def _health(self) -> dict:
+        beats = self.storage.heartbeats()
+        now = time.time()
+        return {
+            "status": "ok",
+            "uptime": (now - self.started_at) if self.started_at else 0.0,
+            "workers": {
+                worker_id: {
+                    "alive": proc.is_alive(),
+                    "pid": proc.pid,
+                    "beat_age": (now - beats[worker_id]["at"])
+                    if worker_id in beats else None,
+                    "job": beats.get(worker_id, {}).get("job"),
+                } for worker_id, proc in self.workers.items()},
+            "jobs": self.queue.counts(),
+        }
+
+    def _submit(self, payload: dict) -> dict:
+        from ..experiments.runner import _registry
+        registry = _registry()
+        requests = payload.get("experiments")
+        if requests is None:
+            requests = [payload]  # single-job shorthand
+        if not isinstance(requests, list) or not requests:
+            raise _HttpError(400, "experiments must be a non-empty list")
+        specs = []
+        for request in requests:
+            if not isinstance(request, dict):
+                raise _HttpError(400, "each experiment must be an object")
+            key = str(request.get("key", "")).strip().upper()
+            if key not in registry:
+                import difflib
+                close = difflib.get_close_matches(key, sorted(registry),
+                                                  n=3, cutoff=0.4)
+                hint = f" (did you mean {', '.join(close)}?)" if close \
+                    else ""
+                raise _HttpError(400, f"unknown experiment {key!r}{hint}")
+            timeout = request.get("timeout")
+            if timeout is not None:
+                timeout = float(timeout)
+                if timeout <= 0:
+                    raise _HttpError(400, "timeout must be positive")
+            specs.append({
+                "key": key,
+                "fast": bool(request.get("fast", False)),
+                "priority": int(request.get("priority", 0)),
+                "timeout": timeout,
+                "max_retries": int(request.get("retries", 1)),
+            })
+        jobs = [self.queue.submit(
+            kind="experiment",
+            params={"key": spec["key"], "fast": spec["fast"]},
+            priority=spec["priority"], timeout=spec["timeout"],
+            max_retries=spec["max_retries"]) for spec in specs]
+        return {"jobs": [job.to_dict() for job in jobs]}
+
+
+async def serve(config: ServiceConfig,
+                ready: Optional[asyncio.Event] = None) -> None:
+    """Run the service until cancelled (the ``pels serve`` main loop)."""
+    service = await ExperimentService(config).start()
+    print(f"-- pels service on http://{config.host}:{service.port} "
+          f"({config.workers} worker(s), storage "
+          f"{config.storage_dir}) --")
+    if ready is not None:
+        ready.set()
+    try:
+        await asyncio.Event().wait()  # until cancelled
+    finally:
+        await service.stop()

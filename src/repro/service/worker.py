@@ -1,0 +1,303 @@
+"""Worker processes: pull jobs from the shared queue, run them isolated.
+
+A worker is a plain loop — heartbeat, claim, execute, repeat — started
+either as a child process of ``pels serve`` or standalone against the
+same storage directory.  Execution reuses the runner's hardening
+recipe from PR 3: the experiment runs in a *disposable child process*
+(crash isolation, enforceable timeouts) whose structured-failure
+semantics come from ``runner._run_one``.
+
+While a job executes the worker keeps heartbeating (so the queue's
+stale-job sweep knows it is alive), polls the record for cooperative
+cancellation, and enforces the job's wall-clock timeout.  The child
+meanwhile streams live telemetry: an ``obs`` MetricsRegistry is active
+for the whole run and a flusher thread appends each new epoch snapshot
+to the job's stream file, followed at completion by the exact
+``--metrics-out`` JSONL line(s) the runner would have written for the
+same experiment — byte-identical, which SV1 pins.
+
+Orphan safety mirrors the shard processes: the child holds a control
+pipe whose other end lives in the worker; a watcher thread blocks on
+it and ``os._exit``s the child the instant the pipe dies (worker
+SIGKILLed) or a cancel message arrives.  A SIGKILLed worker therefore
+takes its experiment down with it, and the requeued attempt on another
+worker is the only writer of the job's artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, List, Optional
+
+from .queue import Job, JobQueue
+from .storage import FileStorage
+
+__all__ = ["run_worker", "worker_main", "execute_in_child",
+           "canonical_artifact_bytes"]
+
+#: Poll slice while babysitting the execution child: short enough that
+#: heartbeats, cancel checks and timeouts stay responsive.
+_BABYSIT_SLICE = 0.1
+
+
+def canonical_artifact_bytes(payload: dict,
+                             volatile_prefixes: tuple = ()) -> bytes:
+    """Canonical serialization for artifact comparison.
+
+    Drops ``wall_time`` — the host-dependent field every exported
+    result carries (the export layer's metrics JSONL does the same) —
+    and serializes with sorted keys, so two artifacts of the same
+    deterministic experiment compare byte-identical no matter which
+    worker, host or attempt produced them.
+
+    ``volatile_prefixes`` additionally drops named metric families for
+    experiments that record wall-clock facts *inside* their metrics
+    (S2's ``wall_s_*``/``epochs_per_s_*``/``peak_rss_bytes_*`` rows):
+    the caller declares exactly which keys are host-dependent, and
+    everything else still must match to the byte.
+    """
+    slim = {k: v for k, v in payload.items() if k != "wall_time"}
+    if volatile_prefixes and isinstance(slim.get("metrics"), dict):
+        slim["metrics"] = {
+            k: v for k, v in slim["metrics"].items()
+            if not k.startswith(volatile_prefixes)}
+    return json.dumps(slim, sort_keys=True).encode()
+
+
+# -- execution child ---------------------------------------------------------
+
+
+def _job_child(result_conn, control_conn, parent_ends, job_payload: dict,
+               storage_root: str) -> None:
+    """Child entry: run the experiment, stream snapshots, send result."""
+    from ..experiments.runner import _run_one
+    from ..experiments.export import metrics_jsonl_lines
+    from ..obs.metrics import MetricsRegistry, metrics
+
+    # Drop the inherited copies of the worker-side pipe ends.  Under
+    # the fork start method this process holds open duplicates of the
+    # control pipe's *write* end — keeping it, the watcher below would
+    # never see EOF when the worker is SIGKILLed and the orphan would
+    # run to completion, polluting the requeued attempt's stream.
+    for conn in parent_ends:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    job_id = job_payload["job_id"]
+    params = job_payload.get("params", {})
+    key = params.get("key", "")
+    fast = bool(params.get("fast", False))
+    storage = FileStorage(storage_root)
+
+    def _watch() -> None:
+        # Blocks until the worker sends a cancel or dies (EOF).  Either
+        # way this process must stop *now*: a cancelled run must not
+        # keep burning CPU, and an orphaned run must not double-write
+        # the artifact its requeued twin is about to produce.
+        try:
+            control_conn.recv()
+        except (EOFError, OSError):
+            pass
+        os._exit(2)
+
+    threading.Thread(target=_watch, daemon=True).start()
+
+    registry = MetricsRegistry()
+    stop = threading.Event()
+    seen = 0
+
+    def _drain() -> List[str]:
+        nonlocal seen
+        try:
+            snapshots = list(registry.snapshots)
+        except RuntimeError:  # appended mid-copy; next tick gets it
+            return []
+        fresh, seen = snapshots[seen:], len(snapshots)
+        return [json.dumps({"type": "snapshot", "data": record},
+                           sort_keys=True) for record in fresh]
+
+    def _flush_loop() -> None:
+        while not stop.wait(0.2):
+            try:
+                storage.append_stream(job_id, _drain())
+            except OSError:
+                pass
+
+    flusher = threading.Thread(target=_flush_loop, daemon=True)
+    flusher.start()
+    try:
+        with metrics(registry):
+            result = _run_one(key, fast)
+    finally:
+        stop.set()
+        flusher.join(timeout=2.0)
+    lines = _drain()
+    # The runner's --metrics-out line for this artifact, verbatim: the
+    # stream's "metrics" events carry the same bytes a direct
+    # ``python -m repro.experiments --metrics-out`` run would write.
+    lines.extend(json.dumps({"type": "metrics", "line": line})
+                 for line in metrics_jsonl_lines([result]))
+    try:
+        storage.append_stream(job_id, lines)
+    except OSError:
+        pass
+    try:
+        result_conn.send(result)
+    finally:
+        result_conn.close()
+
+
+def execute_in_child(queue: JobQueue, storage: FileStorage, job: Job,
+                     beat: Callable[[], None]) -> Job:
+    """Run one claimed job in a disposable child; settle the record.
+
+    Returns the settled job.  Child crash or timeout burns a retry via
+    ``queue.fail`` (requeue with backoff until the budget is gone);
+    cooperative cancellation tears the child down and finalizes the
+    record as ``cancelled``.
+    """
+    import multiprocessing
+
+    from ..experiments.export import result_to_dict
+    from ..experiments.runner import failed
+
+    ctx = multiprocessing.get_context()
+    result_recv, result_send = ctx.Pipe(duplex=False)
+    control_recv, control_send = ctx.Pipe(duplex=False)
+    # Non-daemonic: experiments may spawn their own children (L2's
+    # router shards, sweep pools), which daemonic processes cannot.
+    proc = ctx.Process(target=_job_child,
+                       args=(result_send, control_recv,
+                             (result_recv, control_send), job.to_dict(),
+                             str(storage.root)),
+                       daemon=False)
+    proc.start()
+    result_send.close()
+    control_recv.close()
+
+    deadline = None if job.timeout is None \
+        else time.monotonic() + job.timeout
+    cancel_sent = False
+    last_cancel_check = 0.0
+    failure: Optional[str] = None
+    result = None
+    try:
+        while True:
+            beat()
+            now = time.monotonic()
+            if not cancel_sent and now - last_cancel_check >= 0.5:
+                last_cancel_check = now
+                current = queue.get(job.job_id)
+                if current is not None and current.cancel_requested:
+                    try:
+                        control_send.send("cancel")
+                    except (OSError, BrokenPipeError):
+                        pass
+                    cancel_sent = True
+            if result_recv.poll(_BABYSIT_SLICE):
+                try:
+                    result = result_recv.recv()
+                except EOFError:
+                    failure = ("cancelled" if cancel_sent else
+                               f"execution child died without a result "
+                               f"(exitcode {proc.exitcode})")
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                failure = f"timeout: exceeded {job.timeout:.0f}s wall clock"
+                proc.terminate()
+                break
+    finally:
+        try:
+            control_send.close()
+        except OSError:
+            pass
+        result_recv.close()
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - stuck child
+            proc.kill()
+            proc.join()
+
+    if result is not None:
+        if cancel_sent:
+            return queue.finish_cancel(job)
+        return queue.complete(job, result_to_dict(result),
+                              failed_result=failed(result))
+    if cancel_sent:
+        return queue.finish_cancel(job)
+    return queue.fail(job, failure or "execution child vanished")
+
+
+# -- worker loop -------------------------------------------------------------
+
+
+def run_worker(storage_dir: str, worker_id: str, *,
+               poll_interval: float = 0.2,
+               heartbeat_interval: float = 0.5,
+               executor: Optional[Callable[..., Job]] = None,
+               max_jobs: Optional[int] = None,
+               idle_exit: Optional[float] = None,
+               stop: Optional[Callable[[], bool]] = None) -> int:
+    """Pull-and-execute loop; returns the number of jobs executed.
+
+    ``executor`` defaults to :func:`execute_in_child`; tests inject a
+    fake to exercise the loop without process machinery.  ``max_jobs``
+    / ``idle_exit`` / ``stop`` bound the loop for embedding and tests;
+    the service runs it unbounded and terminates the process instead.
+    """
+    storage = FileStorage(storage_dir)
+    queue = JobQueue(storage)
+    execute = executor or execute_in_child
+    executed = 0
+    idle_since = time.monotonic()
+    last_beat = 0.0
+    current_job: Optional[str] = None
+
+    def beat() -> None:
+        nonlocal last_beat
+        now = time.monotonic()
+        if now - last_beat < heartbeat_interval:
+            return
+        last_beat = now
+        try:
+            storage.beat(worker_id, {"at": time.time(),
+                                     "pid": os.getpid(),
+                                     "job": current_job})
+        except OSError:  # pragma: no cover - disk hiccup
+            pass
+
+    while not (stop is not None and stop()):
+        beat()
+        job = queue.claim_next(worker_id)
+        if job is None:
+            if idle_exit is not None and \
+                    time.monotonic() - idle_since > idle_exit:
+                break
+            time.sleep(poll_interval)
+            continue
+        current_job = job.job_id
+        try:
+            execute(queue, storage, job, beat)
+        except Exception as exc:  # noqa: BLE001 - worker must survive
+            queue.fail(job, f"worker error: {type(exc).__name__}: {exc}")
+        current_job = None
+        executed += 1
+        idle_since = time.monotonic()
+        if max_jobs is not None and executed >= max_jobs:
+            break
+    return executed
+
+
+def worker_main(storage_dir: str, worker_id: str,
+                poll_interval: float = 0.2,
+                heartbeat_interval: float = 0.5) -> None:
+    """Process entry point for service-spawned workers."""
+    try:
+        run_worker(storage_dir, worker_id, poll_interval=poll_interval,
+                   heartbeat_interval=heartbeat_interval)
+    except KeyboardInterrupt:  # pragma: no cover - operator ^C
+        pass

@@ -124,6 +124,47 @@ class TestExport:
             write_series_csv(self._result(), "nope", str(tmp_path / "x"))
 
 
+class TestSchemaVersion:
+    def _payload(self) -> dict:
+        result = ExperimentResult("T0", "demo")
+        result.metrics["m"] = 1.5
+        return result_to_dict(result)
+
+    def test_exports_are_stamped(self):
+        from repro.experiments.export import SCHEMA_VERSION
+        assert self._payload()["schema_version"] == SCHEMA_VERSION
+
+    def test_current_version_round_trips(self):
+        from repro.experiments.export import result_from_dict
+        restored = result_from_dict(self._payload())
+        assert restored.experiment_id == "T0"
+        assert restored.metrics["m"] == 1.5
+
+    def test_unstamped_v1_payload_is_upgraded(self):
+        from repro.experiments.export import result_from_dict
+        payload = self._payload()
+        del payload["schema_version"]  # the seed's unversioned format
+        restored = result_from_dict(payload)
+        assert restored.experiment_id == "T0"
+        assert restored.metrics["m"] == 1.5
+
+    def test_newer_writer_is_rejected(self):
+        from repro.experiments.export import SCHEMA_VERSION, \
+            result_from_dict
+        payload = self._payload()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            result_from_dict(payload)
+
+    @pytest.mark.parametrize("stamp", ["two", None, 0, -3])
+    def test_invalid_stamps_are_rejected(self, stamp):
+        from repro.experiments.export import result_from_dict
+        payload = self._payload()
+        payload["schema_version"] = stamp
+        with pytest.raises(ValueError):
+            result_from_dict(payload)
+
+
 class TestPlotCommand:
     def _results_file(self, tmp_path):
         from repro.experiments.export import write_json

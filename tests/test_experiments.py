@@ -216,7 +216,7 @@ class TestRunner:
     def test_registry_covers_all_artifacts(self):
         paper = {"T1", "F2", "F5", "F7", "F8", "F9", "F10"}
         extensions = {f"X{i}" for i in range(1, 8)} | \
-            {"S1", "S2", "R1", "L1", "L2", "L3"}
+            {"S1", "S2", "R1", "L1", "L2", "L3", "SV1"}
         assert set(EXPERIMENTS) == paper | extensions
 
     def test_run_all_single_selection(self):

@@ -1,0 +1,111 @@
+"""Shared exponential-backoff policy (repro.core.retry).
+
+The runner, the live load generator and the service workers all lean
+on this one module; these tests pin the arithmetic each caller
+historically carried inline, so extracting it changed nothing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.retry import backoff_delay, retry_call
+
+
+class TestBackoffDelay:
+    def test_deterministic_schedule_doubles(self):
+        assert [backoff_delay(a, 0.5) for a in range(4)] == \
+            [0.5, 1.0, 2.0, 4.0]
+
+    def test_custom_factor(self):
+        assert backoff_delay(2, 1.0, factor=3.0) == 9.0
+
+    def test_zero_base_is_free(self):
+        assert backoff_delay(5, 0.0) == 0.0
+
+    def test_jitter_bounds(self):
+        rng = random.Random(7)
+        for attempt in range(6):
+            deterministic = backoff_delay(attempt, 0.25)
+            jittered = backoff_delay(attempt, 0.25, rng=rng)
+            assert 0.5 * deterministic <= jittered < 1.5 * deterministic
+
+    def test_jittered_schedule_reproducible_by_seed(self):
+        first = [backoff_delay(a, 0.1, rng=random.Random(3))
+                 for a in range(5)]
+        second = [backoff_delay(a, 0.1, rng=random.Random(3))
+                  for a in range(5)]
+        assert first == second
+
+    def test_matches_runner_historical_schedule(self):
+        # runner._run_one slept backoff * 2**(attempt-1) before the
+        # k-th retry; the shared helper is called with attempt-1.
+        for attempt in (1, 2, 3):
+            assert backoff_delay(attempt - 1, 0.5) == 0.5 * 2 ** (attempt - 1)
+
+    def test_matches_loadgen_historical_schedule(self):
+        # loadgen scaled backoff * 2**attempt by (0.5 + U[0,1)).
+        rng_old, rng_new = random.Random(11), random.Random(11)
+        for attempt in range(4):
+            legacy = 0.05 * (2 ** attempt) * (0.5 + rng_old.random())
+            assert backoff_delay(attempt, 0.05, rng=rng_new) == \
+                pytest.approx(legacy)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay(-1, 0.5)
+        with pytest.raises(ValueError):
+            backoff_delay(0, -0.5)
+
+
+class TestRetryCall:
+    def test_returns_first_success(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "ok"
+
+        assert retry_call(fn, retries=3, base=0.1,
+                          transient=(OSError,), sleep=lambda _: None) == "ok"
+        assert len(calls) == 1
+
+    def test_retries_transient_then_succeeds(self):
+        slept = []
+        attempts = iter([OSError("t1"), OSError("t2"), None])
+
+        def fn():
+            exc = next(attempts)
+            if exc is not None:
+                raise exc
+            return 42
+
+        assert retry_call(fn, retries=2, base=0.5, transient=(OSError,),
+                          sleep=slept.append) == 42
+        assert slept == [0.5, 1.0]
+
+    def test_budget_exhaustion_propagates_last_error(self):
+        def fn():
+            raise OSError("always")
+
+        with pytest.raises(OSError, match="always"):
+            retry_call(fn, retries=2, base=0.0, transient=(OSError,),
+                       sleep=lambda _: None)
+
+    def test_non_transient_propagates_immediately(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise KeyError("fatal")
+
+        with pytest.raises(KeyError):
+            retry_call(fn, retries=5, base=0.0, transient=(OSError,),
+                       sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            retry_call(lambda: 1, retries=-1, base=0.1, transient=(OSError,))

@@ -28,6 +28,24 @@ class TestRegistry:
         assert "S1" in registry
 
 
+class TestListFlag:
+    def test_list_prints_every_key_with_description(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        keys = {line.split()[0] for line in lines}
+        assert set(_registry()) <= keys
+        a4_line = next(line for line in lines if line.startswith("A4"))
+        assert "meta-control" in a4_line
+
+    def test_describe_registry_covers_every_key(self):
+        from repro.experiments.runner import describe_registry
+        entries = dict(describe_registry())
+        assert set(entries) == set(_registry())
+        # Every runnable artifact documents itself with a one-liner.
+        assert all(entries.values())
+
+
 class TestOnlySelection:
     def test_multi_select_keeps_user_order(self):
         results = run_all(fast=True, only="A1,F2")

@@ -1,0 +1,229 @@
+"""HTTP API of the experiment service, exercised over real sockets.
+
+A live ``ExperimentService`` runs on a background thread (the same
+harness SV1 uses); the blocking :class:`ServiceClient` talks to it from
+the test thread.  Control-plane tests run with zero workers so no
+experiment processes spawn; the end-to-end tests patch the registry
+with instant fakes and run one real worker.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import ExperimentResult
+from repro.experiments.service_exp import _Fleet
+from repro.service.api import ServiceConfig
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import JobQueue
+from repro.service.storage import FileStorage
+
+
+def _ok_run(fast=False):
+    result = ExperimentResult("OK", "works")
+    result.metrics["value"] = 42.0
+    return result
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    config = ServiceConfig(storage_dir=str(tmp_path / "store"),
+                           workers=0, port=0)
+    with _Fleet(config) as fleet:
+        yield fleet
+
+
+@pytest.fixture()
+def client(fleet):
+    return ServiceClient(port=fleet.port)
+
+
+class TestHealth:
+    def test_reports_status_workers_and_counts(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == {}
+        assert health["jobs"]["queued"] == 0
+        assert health["uptime"] >= 0.0
+
+
+class TestExperimentsListing:
+    def test_lists_registry_with_descriptions(self, client):
+        entries = {e["key"]: e["description"] for e in client.experiments()}
+        assert "T1" in entries and "SV1" in entries
+        assert entries["A4"].startswith("A4")
+
+
+class TestSubmitValidation:
+    def test_unknown_key_suggests_neighbours(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit([{"key": "A44"}])
+        assert err.value.status == 400
+        assert "A4" in err.value.message
+
+    def test_empty_batch_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit([])
+        assert err.value.status == 400
+
+    def test_non_object_entry_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit(["T1"])
+        assert err.value.status == 400
+
+    def test_non_positive_timeout_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit([{"key": "T1", "timeout": -5}])
+        assert err.value.status == 400
+
+    def test_key_is_normalized(self, client):
+        jobs = client.submit([{"key": " t1 "}])
+        assert jobs[0]["params"]["key"] == "T1"
+
+    def test_batch_submission_preserves_order_and_options(self, client):
+        jobs = client.submit([
+            {"key": "T1", "fast": True, "priority": 5},
+            {"key": "F2", "retries": 3, "timeout": 60},
+        ])
+        assert [j["params"]["key"] for j in jobs] == ["T1", "F2"]
+        assert jobs[0]["priority"] == 5 and jobs[0]["params"]["fast"]
+        assert jobs[1]["max_retries"] == 3 and jobs[1]["timeout"] == 60.0
+
+
+class TestJobRoutes:
+    def test_listing_filters_by_state(self, client):
+        client.submit([{"key": "T1"}])
+        assert len(client.jobs(state="queued")) == 1
+        assert client.jobs(state="done") == []
+
+    def test_unknown_state_filter_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.jobs(state="zombie")
+        assert err.value.status == 400
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.job("ghost")
+        assert err.value.status == 404
+
+    def test_artifact_of_unfinished_job_404(self, client):
+        job = client.submit([{"key": "T1"}])[0]
+        with pytest.raises(ServiceError) as err:
+            client.artifact(job["job_id"])
+        assert err.value.status == 404
+        assert "queued" in err.value.message
+
+    def test_cancel_queued_job(self, client):
+        job = client.submit([{"key": "T1"}])[0]
+        assert client.cancel(job["job_id"])["state"] == "cancelled"
+        assert client.job(job["job_id"])["state"] == "cancelled"
+
+    def test_long_poll_stream_of_settled_job(self, fleet, client):
+        queue = fleet.service.queue
+        record = queue.submit(params={"key": "X"})
+        queue.complete(queue.claim_next("w001"), {"experiment_id": "X"})
+        events = list(client.stream(record.job_id, timeout=30))
+        states = [e["state"] for e in events if e.get("type") == "state"]
+        assert states == ["running", "done"]
+
+
+class TestBaselines:
+    def test_put_get_list(self, client):
+        client.put_baseline("bench", {"ns_per_epoch": 11.5})
+        assert client.baseline("bench") == {"ns_per_epoch": 11.5}
+        assert client.baselines() == ["bench"]
+
+    def test_missing_baseline_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.baseline("ghost")
+        assert err.value.status == 404
+
+
+class TestRouting:
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_method_not_allowed_405(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("DELETE", "/jobs")
+        assert err.value.status == 405
+
+    def test_malformed_json_body_400(self, fleet):
+        import http.client
+        connection = http.client.HTTPConnection("127.0.0.1", fleet.port,
+                                                timeout=10)
+        try:
+            connection.request("POST", "/jobs", body=b"{not json",
+                               headers={"Content-Type":
+                                        "application/json"})
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+
+class TestEndToEnd:
+    def test_submit_executes_on_a_real_worker(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner, "_REGISTRY", {"OK": _ok_run})
+        config = ServiceConfig(storage_dir=str(tmp_path / "store"),
+                               workers=1, port=0, worker_poll=0.05)
+        with _Fleet(config) as fleet:
+            client = ServiceClient(port=fleet.port)
+            job = client.submit([{"key": "OK", "fast": True}])[0]
+            final = client.wait([job["job_id"]], timeout=60)
+            record = final[job["job_id"]]
+            assert record["state"] == "done"
+            assert record["attempts"] == 1
+            artifact = client.artifact(job["job_id"])
+            assert artifact["experiment_id"] == "OK"
+            assert artifact["metrics"]["value"] == 42.0
+            assert artifact["schema_version"] >= 2
+            assert client.artifacts() == [job["job_id"]]
+
+
+class TestRestartResume:
+    """Acceptance: kill the service, restart on the same storage, and
+    queued/interrupted jobs resume with no lost or duplicated work."""
+
+    def test_interrupted_and_queued_jobs_survive_restart(self, tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setattr(runner, "_REGISTRY", {"OK": _ok_run})
+        store = str(tmp_path / "store")
+
+        # First incarnation: no workers, so submissions only queue up;
+        # one job is claimed by hand to simulate an in-flight attempt
+        # at the moment the service dies.
+        config = ServiceConfig(storage_dir=store, workers=0, port=0)
+        with _Fleet(config) as fleet:
+            client = ServiceClient(port=fleet.port)
+            interrupted = client.submit([{"key": "OK"}])[0]
+            waiting = client.submit([{"key": "OK"}])[0]
+            fleet.service.queue.claim_next("w001")
+
+        # The "crashed" incarnation is gone; restart with real workers.
+        config = ServiceConfig(storage_dir=store, workers=2, port=0,
+                               worker_poll=0.05)
+        with _Fleet(config) as fleet:
+            client = ServiceClient(port=fleet.port)
+            final = client.wait([interrupted["job_id"],
+                                 waiting["job_id"]], timeout=60)
+            assert all(r["state"] == "done" for r in final.values())
+            assert final[interrupted["job_id"]]["requeues"] == 1
+            # One artifact per job — nothing lost, nothing duplicated.
+            assert sorted(client.artifacts()) == sorted(
+                [interrupted["job_id"], waiting["job_id"]])
+
+
+class TestServiceConfigValidation:
+    def test_negative_workers_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ServiceConfig(storage_dir=str(tmp_path), workers=-1)
+
+    def test_non_positive_timeouts_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ServiceConfig(storage_dir=str(tmp_path), heartbeat_timeout=0)
